@@ -1,0 +1,116 @@
+"""A1 — ablations over Algorithm 1's design choices (DESIGN.md section 4).
+
+Three axes, each isolating one choice while the driver holds the rest
+fixed:
+
+* **delivery** (the Section-4 contribution): ``h = n^{1/3}`` and the same
+  blocker set, pipelined vs broadcast Step 6 — end-to-end counterpart of
+  F4;
+* **blocker** (the Section-3 contribution): same ``h`` and delivery,
+  Algorithm 2' vs greedy [2] vs random sampling — shows where Step 2's
+  cost lands inside the full algorithm;
+* **hop budget** ``h``: ``n^{1/4}`` / ``n^{1/3}`` / ``n^{1/2}`` with the
+  paper's components — the balance point behind Theorem 1.1 (Steps 1/2/7
+  grow with ``h``; ``|Q|`` and Step 6 shrink with it).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.congest import CongestNetwork
+from repro.graphs import erdos_renyi
+from repro.apsp import three_phase_apsp
+from repro.apsp.driver import default_h
+
+from conftest import emit, once
+
+NS = (24, 48, 96)
+
+
+def graphs():
+    return [erdos_renyi(n, p=max(0.1, 4.0 / n), seed=29) for n in NS]
+
+
+def test_ablation_delivery(benchmark):
+    def run():
+        rows = []
+        for g in graphs():
+            net = CongestNetwork(g)
+            h = default_h(g.n)
+            per = [g.n]
+            for delivery in ("pipelined", "broadcast"):
+                res = three_phase_apsp(
+                    net, g, h=h, blocker="greedy", delivery=delivery
+                )
+                res.verify(g)
+                step6 = sum(
+                    v for k, v in res.step_rounds().items()
+                    if k.startswith("step6")
+                )
+                per.extend([res.rounds, step6])
+            rows.append(per)
+        return rows
+
+    rows = once(benchmark, run)
+    table = render_table(
+        ["n", "total (pipelined)", "step6 (pipelined)",
+         "total (broadcast)", "step6 (broadcast)"],
+        rows,
+        title="A1a: delivery ablation (h=n^{1/3}, greedy blocker fixed)",
+    )
+    emit("ablation_delivery", table)
+
+
+def test_ablation_blocker(benchmark):
+    def run():
+        rows = []
+        for g in graphs():
+            net = CongestNetwork(g)
+            h = default_h(g.n)
+            per = [g.n]
+            for blocker in ("derandomized", "greedy", "sampling"):
+                res = three_phase_apsp(
+                    net, g, h=h, blocker=blocker, delivery="pipelined"
+                )
+                res.verify(g)
+                step2 = res.step_rounds().get("step2-blocker", 0)
+                per.extend([res.rounds, step2, res.meta["q"]])
+            rows.append(per)
+        return rows
+
+    rows = once(benchmark, run)
+    table = render_table(
+        ["n", "total (Alg 2')", "step2", "|Q|",
+         "total (greedy)", "step2", "|Q|",
+         "total (sampling)", "step2", "|Q|"],
+        rows,
+        title="A1b: blocker ablation (h=n^{1/3}, pipelined Step 6 fixed)",
+    )
+    emit("ablation_blocker", table)
+
+
+def test_ablation_hop_budget(benchmark):
+    def run():
+        rows = []
+        for g in graphs():
+            net = CongestNetwork(g)
+            per = [g.n]
+            for exp, label in ((0.25, "n^{1/4}"), (1 / 3, "n^{1/3}"),
+                               (0.5, "n^{1/2}")):
+                h = default_h(g.n, exp)
+                res = three_phase_apsp(
+                    net, g, h=h, blocker="greedy", delivery="pipelined"
+                )
+                res.verify(g)
+                per.extend([h, res.rounds, res.meta["q"]])
+            rows.append(per)
+        return rows
+
+    rows = once(benchmark, run)
+    table = render_table(
+        ["n", "h=n^{1/4}", "rounds", "|Q|", "h=n^{1/3}", "rounds", "|Q|",
+         "h=n^{1/2}", "rounds", "|Q|"],
+        rows,
+        title="A1c: hop-budget ablation (greedy blocker, pipelined Step 6)",
+    )
+    emit("ablation_hop_budget", table)

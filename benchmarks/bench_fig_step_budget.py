@@ -1,0 +1,70 @@
+"""F1 — per-step round budget of Algorithm 1 (Theorem 1.1's proof).
+
+The proof charges every step ``O~(n^{4/3})`` rounds.  We run the paper's
+algorithm and report each step's measured rounds and share of the total —
+no step may dominate asymptotically, and the shares should stay stable as
+``n`` grows.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.congest import CongestNetwork
+from repro.graphs import erdos_renyi
+from repro.apsp import deterministic_apsp
+
+from conftest import emit, once
+
+STEP_GROUPS = [
+    ("step1-csssp", "Step 1 (h-CSSSP)"),
+    ("step2-blocker", "Step 2 (blocker set)"),
+    ("step3-in-sssp", "Step 3 (h-in-SSSP per c)"),
+    ("step4", "Step 4 (Q x Q broadcast)"),
+    ("step6/", "Step 6 (reversed q-sink)"),
+    ("step7-extension", "Step 7 (extension)"),
+]
+
+
+def test_step_budget(benchmark):
+    graphs = [erdos_renyi(27, p=0.16, seed=5), erdos_renyi(64, p=0.08, seed=5)]
+
+    def run():
+        out = []
+        for g in graphs:
+            net = CongestNetwork(g)
+            res = deterministic_apsp(net, g)
+            res.verify(g)
+            out.append(res)
+        return out
+
+    results = once(benchmark, run)
+    rows = []
+    for prefix, label in STEP_GROUPS:
+        row = [label]
+        for res in results:
+            by = res.step_rounds()
+            rounds = sum(v for k, v in by.items() if k.startswith(prefix))
+            congestion = max(
+                (s.max_node_congestion for lbl, s in res.log
+                 if lbl.startswith(prefix)),
+                default=0,
+            )
+            row.append(rounds)
+            row.append(f"{100.0 * rounds / res.rounds:.0f}%")
+            row.append(congestion)
+        rows.append(row)
+    rows.append(["TOTAL", results[0].rounds, "100%",
+                 results[0].stats.max_node_congestion,
+                 results[1].rounds, "100%",
+                 results[1].stats.max_node_congestion])
+    table = render_table(
+        ["step", "rounds n=27", "share", "max node congestion",
+         "rounds n=64", "share", "max node congestion"],
+        rows,
+        title=(
+            "F1: Algorithm 1 per-step round budget "
+            f"(h={results[0].meta['h']}/{results[1].meta['h']}, "
+            f"|Q|={results[0].meta['q']}/{results[1].meta['q']})"
+        ),
+    )
+    emit("fig_step_budget", table)

@@ -1,0 +1,112 @@
+"""T1 — Table 1 regenerated as measured data.
+
+For each implemented APSP family: total CONGEST rounds on identical inputs
+across a sweep of ``n``, the fitted growth exponent ``alpha`` (log-log
+least squares), and rounds normalized by the claimed bound ``n^alpha_c``.
+The paper's shape prediction: exponents order as
+
+    naive-bf (~n * D) vs det-n53 > det-n32 > {rand-n43, det-n43}
+
+with the two ``n^{4/3}`` families flattest after normalization.  Quoted
+rows of Table 1 we do not implement are appended as bounds-only lines.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TABLE1_ROWS, fit_exponent, normalized_series, render_table
+from repro.analysis.tables import table1_measured
+from repro.graphs import erdos_renyi, grid2d
+
+from conftest import emit, once
+
+SWEEP_NS = (16, 24, 32, 48, 64, 96)
+
+
+def sweep_graphs():
+    return [erdos_renyi(n, p=max(0.1, 4.0 / n), seed=7) for n in SWEEP_NS]
+
+
+def test_table1_er_sweep(benchmark):
+    graphs = sweep_graphs()
+
+    def run():
+        return table1_measured(graphs)
+
+    data = once(benchmark, run)
+    rows = []
+    for spec in TABLE1_ROWS:
+        if spec.run is None:
+            rows.append(
+                [spec.key, spec.reference, spec.kind, spec.claimed,
+                 "(bound quoted; out of implementation scope)", "", ""]
+            )
+            continue
+        series = data[spec.key]
+        ns = [n for (n, _r, _res) in series]
+        rounds = [r for (_n, r, _res) in series]
+        fit = fit_exponent(ns, rounds)
+        norm = normalized_series(ns, rounds, spec.claimed_alpha)
+        rows.append(
+            [spec.key, spec.reference, spec.kind, spec.claimed,
+             " ".join(str(r) for r in rounds),
+             f"{fit.alpha:.2f}",
+             f"{norm[0]:.1f}->{norm[-1]:.1f}"]
+        )
+        benchmark.extra_info[spec.key] = {"ns": ns, "rounds": rounds,
+                                          "alpha": fit.alpha}
+    table = render_table(
+        ["algorithm", "reference", "kind", "claimed bound",
+         f"rounds at n={list(SWEEP_NS)}", "fitted alpha",
+         "rounds/n^alpha_claimed"],
+        rows,
+        title="Table 1 (measured, Erdos-Renyi sweep; all outputs verified exact)",
+    )
+    emit("table1_er", table)
+
+
+def test_table1_message_complexity(benchmark):
+    """Companion view: total messages and max per-node congestion.
+
+    Round complexity is the paper's metric, but message counts separate
+    algorithms with similar round budgets (the pipelined Step 6 moves far
+    fewer messages than broadcast at equal rounds).
+    """
+    graphs = [erdos_renyi(n, p=max(0.1, 4.0 / n), seed=7) for n in (24, 48)]
+
+    def run():
+        return table1_measured(graphs)
+
+    data = once(benchmark, run)
+    rows = []
+    for key, series in data.items():
+        row = [key]
+        for (_n, _rounds, res) in series:
+            row.append(res.stats.messages)
+            row.append(res.stats.max_node_congestion)
+        rows.append(row)
+    table = render_table(
+        ["algorithm", "messages n=24", "max congestion n=24",
+         "messages n=48", "max congestion n=48"],
+        rows,
+        title="Table 1 companion: message complexity (verified exact)",
+    )
+    emit("table1_messages", table)
+
+
+def test_table1_grid_spotcheck(benchmark):
+    """Second topology: the ordering must not be an ER artifact."""
+    graphs = [grid2d(4, 6, seed=1), grid2d(6, 8, seed=1)]
+
+    def run():
+        return table1_measured(graphs)
+
+    data = once(benchmark, run)
+    rows = []
+    for key, series in data.items():
+        rows.append([key] + [r for (_n, r, _res) in series])
+    table = render_table(
+        ["algorithm", "rounds n=24 (4x6)", "rounds n=48 (6x8)"],
+        rows,
+        title="Table 1 spot check on 2-D grids (verified exact)",
+    )
+    emit("table1_grid", table)

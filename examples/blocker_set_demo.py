@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Walkthrough of Section 3: building blocker sets four ways.
+
+Constructs the ``h``-CSSSP of a dense random graph, then runs
+
+* Algorithm 2' (the paper's deterministic construction),
+* Algorithm 2 (randomized, pairwise-independent selection),
+* the greedy [2] baseline,
+* the random-sampling baseline,
+
+verifies Definition 2.2 coverage for each, and compares sizes and rounds.
+A second pass disables the heavy-node branch (Step 9) to show the good-set
+machinery — the derandomized search over the pairwise-independent sample
+space — actually firing, with its per-pick diagnostics.
+
+Usage::
+
+    python examples/blocker_set_demo.py [n] [h]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import render_table
+from repro.blocker import (
+    BlockerParams,
+    deterministic_blocker_set,
+    greedy_blocker_set,
+    is_blocker_set,
+    randomized_blocker_set,
+    sampling_blocker_set,
+)
+from repro.blocker.verify import greedy_reference_size
+from repro.congest import CongestNetwork
+from repro.csssp import build_csssp
+from repro.graphs import erdos_renyi
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 28
+    h = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    graph = erdos_renyi(n, p=0.35, seed=7)
+    net = CongestNetwork(graph)
+    coll, build_stats = build_csssp(net, graph, range(n), h)
+    print(f"{graph}: h={h}, {coll.path_count()} length-{h} paths to cover "
+          f"(CSSSP built in {build_stats.rounds} rounds)")
+    print(f"centralized greedy reference size: "
+          f"{greedy_reference_size(coll)}\n")
+
+    rows = []
+    for name, fn in [
+        ("Algorithm 2' (deterministic)", deterministic_blocker_set),
+        ("Algorithm 2 (randomized)", randomized_blocker_set),
+        ("greedy [2]", greedy_blocker_set),
+        ("random sampling", sampling_blocker_set),
+    ]:
+        res = fn(net, coll)
+        assert is_blocker_set(coll, res.blockers)
+        rows.append([name, res.q, res.stats.rounds, len(res.picks),
+                     "yes"])
+    print(render_table(
+        ["construction", "|Q|", "rounds", "selection steps", "covers all?"],
+        rows,
+        title="blocker constructions (Definition 2.2 verified)",
+    ))
+
+    print("\n--- good-set machinery (Step 9 disabled) ---")
+    params = BlockerParams(force_selection=True)
+    res = deterministic_blocker_set(net, coll, params)
+    assert is_blocker_set(coll, res.blockers)
+    print(f"|Q| = {res.q} via {len(res.picks)} selection steps, "
+          f"{res.stats.rounds} rounds")
+    for i, pick in enumerate(res.picks):
+        frac = (f"{pick.good_fraction:.3f}"
+                if pick.good_fraction == pick.good_fraction else "n/a")
+        print(f"  step {i}: {pick.kind:<9} stage={pick.stage:<3} "
+              f"phase={pick.phase:<2} added={len(pick.added)} node(s), "
+              f"covered {pick.covered_pij}/{pick.pij_size} of P_ij, "
+              f"good-point fraction {frac}")
+
+
+if __name__ == "__main__":
+    main()

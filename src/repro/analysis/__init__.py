@@ -1,0 +1,23 @@
+"""Measurement analysis: exponent fits, Table 1 regeneration, reporting.
+
+The paper's claims are *asymptotic round bounds*; the reproduction checks
+their **shape** on a sweep of instance sizes: who wins, by what factor,
+and what growth exponent ``alpha`` a log-log fit of ``rounds ~ n^alpha``
+produces (:mod:`~repro.analysis.fitting`).  :mod:`~repro.analysis.tables`
+regenerates Table 1 as measured data and :mod:`~repro.analysis.report`
+renders the tables/series the benchmarks print.
+"""
+
+from repro.analysis.fitting import crossover, fit_exponent, normalized_series
+from repro.analysis.report import render_series, render_table
+from repro.analysis.tables import TABLE1_ROWS, table1_measured
+
+__all__ = [
+    "TABLE1_ROWS",
+    "crossover",
+    "fit_exponent",
+    "normalized_series",
+    "render_series",
+    "render_table",
+    "table1_measured",
+]

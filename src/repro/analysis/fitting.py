@@ -1,0 +1,81 @@
+"""Log-log growth-exponent fits.
+
+``rounds = C * n^alpha`` becomes ``log rounds = log C + alpha log n``; the
+least-squares slope over a sweep of ``n`` estimates ``alpha``.  Polylog
+factors bias the estimate upward at small ``n`` (they look like extra
+exponent), so the benches report both the raw fit and the fit of the
+*normalized* series ``rounds / n^alpha_claimed`` — flat-ish normalized
+series support the claimed bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ExponentFit:
+    """Result of a log-log least-squares fit."""
+
+    alpha: float
+    log_c: float
+    r2: float
+
+    @property
+    def c(self) -> float:
+        return float(np.exp(self.log_c))
+
+    def predict(self, n: float) -> float:
+        """Evaluate the fitted power law at ``n``."""
+        return self.c * n**self.alpha
+
+
+def fit_exponent(ns: Sequence[float], rounds: Sequence[float]) -> ExponentFit:
+    """Fit ``rounds ~ C n^alpha`` over the sweep (requires >= 2 points)."""
+    x = np.log(np.asarray(ns, dtype=float))
+    y = np.log(np.asarray(rounds, dtype=float))
+    if len(x) < 2:
+        raise ValueError("need at least two sweep points to fit an exponent")
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return ExponentFit(alpha=float(slope), log_c=float(intercept), r2=r2)
+
+
+def normalized_series(
+    ns: Sequence[float], rounds: Sequence[float], alpha: float
+) -> List[float]:
+    """``rounds[i] / ns[i]^alpha`` — flat when the claimed bound is tight."""
+    return [float(r) / float(n) ** alpha for n, r in zip(ns, rounds)]
+
+
+def crossover(
+    ns: Sequence[float], a: Sequence[float], b: Sequence[float]
+) -> Tuple[Optional[float], Optional[float]]:
+    """Where series ``a`` overtakes (drops below) series ``b``.
+
+    Returns ``(n_measured, n_extrapolated)``: the first sweep point with
+    ``a <= b`` (None if none), and the crossing of the two fitted power
+    laws (None when the fits never cross ahead, i.e. ``a`` grows at least
+    as fast and starts higher).  Used by F4/A1a to report where the
+    pipelined Step 6 starts winning.
+    """
+    measured = next((float(n) for n, x, y in zip(ns, a, b) if x <= y), None)
+    fa, fb = fit_exponent(ns, a), fit_exponent(ns, b)
+    extrapolated: Optional[float] = None
+    if fa.alpha != fb.alpha:
+        n_star = float(
+            np.exp((fb.log_c - fa.log_c) / (fa.alpha - fb.alpha))
+        )
+        # Only meaningful when a is the flatter series winning beyond n*.
+        if fa.alpha < fb.alpha and n_star > 0:
+            extrapolated = n_star
+    return measured, extrapolated
+
+
+__all__ = ["ExponentFit", "crossover", "fit_exponent", "normalized_series"]

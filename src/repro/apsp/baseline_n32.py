@@ -1,0 +1,33 @@
+"""The [2] baseline — deterministic ``O~(n^{3/2})`` APSP (PODC 2018).
+
+``h = \\sqrt{n}``, the greedy blocker construction (``O(nh + n|Q|)``
+rounds — the term the paper's Algorithm 2' removes), and plain broadcast
+delivery for Step 6 (with ``|Q| = O~(\\sqrt n)`` the broadcast costs
+``O~(n^{3/2})``, so pipelining would not help this parameter point).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.congest.network import CongestNetwork
+from repro.graphs.spec import Graph
+from repro.apsp.driver import default_h, three_phase_apsp
+from repro.apsp.result import APSPResult
+
+
+def baseline_n32_apsp(
+    net: CongestNetwork, graph: Graph, h: Optional[int] = None
+) -> APSPResult:
+    """The Agarwal-Ramachandran-King-Pontecorvi ``O~(n^{3/2})`` baseline."""
+    return three_phase_apsp(
+        net,
+        graph,
+        h if h is not None else default_h(graph.n, 0.5),
+        blocker="greedy",
+        delivery="broadcast",
+        algorithm="det-n32",
+    )
+
+
+__all__ = ["baseline_n32_apsp"]

@@ -1,0 +1,58 @@
+"""Reference distributed APSP variants outside the 3-phase frontier.
+
+* :func:`naive_bf_apsp` — ``n`` full Bellman-Ford runs, one per source:
+  ``O(n \\cdot D_{hops})`` rounds (up to ``O(n^2)``); the simplest correct
+  algorithm and the sanity anchor of Table 1.
+* :func:`five_thirds_apsp` — Algorithm 1 with the paper's blocker set but
+  the *broadcast* Step 6: the ``O~(n^{5/3})`` strawman the paper names as
+  the only previously known deterministic way to implement Step 6
+  (Section 2).  The gap between this and :func:`~repro.apsp.deterministic.
+  deterministic_apsp` isolates the contribution of Section 4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.congest.metrics import PhaseLog
+from repro.congest.network import CongestNetwork
+from repro.graphs.spec import Graph
+from repro.primitives.bellman_ford import bellman_ford
+from repro.apsp.driver import default_h, three_phase_apsp
+from repro.apsp.result import APSPResult
+
+
+def naive_bf_apsp(net: CongestNetwork, graph: Graph) -> APSPResult:
+    """Full Bellman-Ford from every source (``O(n \\cdot D_{hops})``)."""
+    n = graph.n
+    log = PhaseLog()
+    dist = np.full((n, n), math.inf)
+    pred = np.full((n, n), -1, dtype=np.int64)
+    for x in range(n):
+        res = bellman_ford(net, graph, x, label=f"bf({x})")
+        log.add("bellman-ford", res.rounds)
+        dist[x, :] = res.dist
+        pred[x, :] = res.parent
+    return APSPResult(
+        algorithm="naive-bf", dist=dist, pred=pred, log=log, meta={}
+    )
+
+
+def five_thirds_apsp(
+    net: CongestNetwork, graph: Graph, h: Optional[int] = None
+) -> APSPResult:
+    """Deterministic 3-phase APSP with broadcast Step 6 (``O~(n^{5/3})``)."""
+    return three_phase_apsp(
+        net,
+        graph,
+        h if h is not None else default_h(graph.n),
+        blocker="derandomized",
+        delivery="broadcast",
+        algorithm="det-n53",
+    )
+
+
+__all__ = ["five_thirds_apsp", "naive_bf_apsp"]

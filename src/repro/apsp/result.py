@@ -1,0 +1,111 @@
+"""APSP outcome record shared by every end-to-end algorithm."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.congest.metrics import PhaseLog, RoundStats
+from repro.graphs.reference import all_pairs_shortest_paths
+from repro.graphs.spec import Graph
+
+
+@dataclass
+class APSPResult:
+    """Distance matrix + the per-step round ledger of one APSP run.
+
+    ``dist[x, t]`` is the computed ``delta(x, t)`` (``inf`` when ``t`` is
+    unreachable from ``x``); ``pred[x, t]`` the predecessor of ``t`` on a
+    shortest ``x -> t`` path (-1 at the source / unreachable pairs) — the
+    "last edge" part of the APSP output (Section 1.1); ``log`` holds one
+    entry per paper step so the per-step budget of Theorem 1.1's proof can
+    be inspected (experiment F1); ``meta`` carries algorithm-specific
+    facts (``h``, ``|Q|``, ``|Q'|``, ``|B|``, blocker/delivery choices).
+    """
+
+    algorithm: str
+    dist: np.ndarray
+    log: PhaseLog
+    meta: Dict[str, object] = field(default_factory=dict)
+    pred: Optional[np.ndarray] = None
+
+    @property
+    def stats(self) -> RoundStats:
+        return self.log.total(self.algorithm)
+
+    @property
+    def rounds(self) -> int:
+        return self.stats.rounds
+
+    def step_rounds(self) -> Dict[str, int]:
+        """Rounds aggregated per step label (Theorem 1.1's budget view)."""
+        return self.log.rounds_by_label()
+
+    def path(self, x: int, t: int) -> list:
+        """Reconstruct one shortest ``x -> t`` path from the predecessors.
+
+        Returns the node sequence ``[x, ..., t]``; raises if the pair is
+        unreachable or the result carries no routing information.
+        """
+        if self.pred is None:
+            raise ValueError(f"{self.algorithm} recorded no predecessors")
+        if math.isinf(self.dist[x, t]):
+            raise ValueError(f"{t} is unreachable from {x}")
+        out = [t]
+        while out[-1] != x:
+            p = int(self.pred[x, out[-1]])
+            if p < 0 or len(out) > self.dist.shape[0]:
+                raise AssertionError(
+                    f"broken predecessor chain {x} -> {t} at {out[-1]}"
+                )
+            out.append(p)
+        out.reverse()
+        return out
+
+    def verify_paths(self, graph: Graph, atol: float = 1e-6) -> None:
+        """Check every reconstructed path is a real path of optimal weight."""
+        if self.pred is None:
+            raise ValueError(f"{self.algorithm} recorded no predecessors")
+        weight = {}
+        for v in range(graph.n):
+            for u, w, _tb in graph.out_edges(v):
+                weight[(v, u)] = w
+        for x in range(graph.n):
+            for t in range(graph.n):
+                if x == t or math.isinf(self.dist[x, t]):
+                    continue
+                nodes = self.path(x, t)
+                total = 0.0
+                for a, b in zip(nodes, nodes[1:]):
+                    if (a, b) not in weight:
+                        raise AssertionError(f"({a},{b}) is not an edge")
+                    total += weight[(a, b)]
+                if abs(total - self.dist[x, t]) > atol * (1 + abs(total)):
+                    raise AssertionError(
+                        f"path {x}->{t} weighs {total}, distance says "
+                        f"{self.dist[x, t]}"
+                    )
+
+    def verify(self, graph: Graph, atol: float = 1e-9) -> float:
+        """Max abs error vs the centralized reference; raises on mismatch.
+
+        Checks the reachability pattern exactly and the finite distances
+        within ``atol``.  Returns the max finite deviation.
+        """
+        ref = all_pairs_shortest_paths(graph)
+        if not (np.isfinite(ref) == np.isfinite(self.dist)).all():
+            bad = np.argwhere(np.isfinite(ref) != np.isfinite(self.dist))
+            raise AssertionError(
+                f"{self.algorithm}: reachability mismatch at pairs {bad[:5]}"
+            )
+        mask = np.isfinite(ref)
+        err = float(np.abs(self.dist[mask] - ref[mask]).max(initial=0.0))
+        if err > atol:
+            raise AssertionError(f"{self.algorithm}: distance error {err}")
+        return err
+
+
+__all__ = ["APSPResult"]

@@ -1,0 +1,193 @@
+"""Helper protocols for the blocker-set algorithms (Algorithms 3, 4, 5 + [2]'s
+Ancestors algorithm).
+
+* :func:`compute_vi_counts` — the ``beta`` flood of Compute-Pij
+  (Algorithm 4): within each tree the root floods a running count of
+  ``V_i``-members at depth >= 1 down the live tree; each depth-``h`` leaf
+  then knows how many ``V_i`` nodes its path contains.  Compute-Pi
+  (Algorithm 3) is the special case "count >= 1", so one flood serves both.
+* :func:`broadcast_selection_stats` — Algorithm 5 fused with Step 8's
+  score broadcast: one all-to-all broadcast of per-node
+  ``(score_ij(v), |P_ij^v|)`` pairs, after which every node knows
+  ``|P_ij|`` (the sum of the second coordinates) and every score.
+* :func:`collect_ancestors` — [2]'s Ancestors algorithm (Algorithm 7
+  Step 1): a pipelined downward stream of ``(depth, id)`` records so every
+  node learns the ids on its root path; a leaf can then evaluate path
+  coverage locally.  ``O(h)`` rounds per tree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.congest.metrics import RoundStats
+from repro.congest.network import CongestNetwork
+from repro.congest.node import Ctx, NodeProgram
+from repro.csssp.collection import CSSSPCollection, TreeView
+from repro.primitives.bfs import BFSTree
+from repro.primitives.broadcast import gather_and_broadcast
+
+
+class _ViCountProgram(NodeProgram):
+    """Algorithm 4 for one tree: flood the V_i-member count down."""
+
+    __slots__ = ("tree", "in_vi", "beta")
+
+    def __init__(self, node: int, tree: TreeView, in_vi: bool) -> None:
+        super().__init__(node)
+        self.tree = tree
+        self.in_vi = in_vi
+        self.beta = -1
+        if tree.live(node) and tree.depth[node] == 0:
+            self.beta = 0  # the root slot never counts (hyperedges exclude it)
+        self.active = self.beta == 0
+
+    def on_round(self, ctx: Ctx) -> None:
+        v = ctx.node
+        t = self.tree
+        for msg in ctx.inbox:
+            if msg.kind == "beta" and msg.src == t.parent[v] and self.beta < 0:
+                self.beta = msg.payload[0] + (1 if self.in_vi else 0)
+        if self.beta >= 0 and ctx.round == t.depth[v]:
+            for c in t.live_children(v):
+                ctx.send(c, "beta", (self.beta,))
+        self.active = False
+
+
+def compute_vi_counts(
+    net: CongestNetwork,
+    coll: CSSSPCollection,
+    vi: Set[int],
+    label: str = "compute-pij",
+) -> Tuple[Dict[int, Dict[int, int]], RoundStats]:
+    """Per-leaf ``V_i``-member counts for every live length-``h`` path.
+
+    Returns ``(beta, stats)`` with ``beta[x][leaf]`` = number of depth>=1
+    nodes of the root-to-``leaf`` path of ``T_x`` that are in ``vi``, for
+    every live leaf at depth ``h``.  One ``O(h)``-round flood per tree
+    (Algorithms 3/4; Lemmas 3.3/3.4), ``O(|S| \\cdot h)`` in total.
+    """
+    total = RoundStats(label=label)
+    beta: Dict[int, Dict[int, int]] = {}
+    for x, t in coll.trees.items():
+        programs = [_ViCountProgram(v, t, v in vi) for v in range(coll.n)]
+        total.merge(net.run(programs, label=f"{label}({x})"))
+        beta[x] = {
+            v: programs[v].beta
+            for v in range(coll.n)
+            if t.depth[v] == coll.h and not t.removed[v]
+        }
+    return beta, total
+
+
+def paths_with_min_count(
+    beta: Dict[int, Dict[int, int]], threshold: float
+) -> Dict[int, List[int]]:
+    """Leaves whose path has at least ``threshold`` V_i nodes (P_i / P_ij)."""
+    return {
+        x: sorted(v for v, b in leaves.items() if b >= threshold)
+        for x, leaves in beta.items()
+    }
+
+
+def count_paths(members: Dict[int, List[int]]) -> int:
+    """Total paths across all trees in a per-tree leaf map."""
+    return sum(len(v) for v in members.values())
+
+
+def broadcast_selection_stats(
+    net: CongestNetwork,
+    tree: BFSTree,
+    score_ij: Sequence[float],
+    pij_leaf_counts: Sequence[int],
+    label: str = "selection-stats",
+) -> Tuple[Dict[int, float], int, RoundStats]:
+    """Algorithm 5 + Step 8: everyone learns all score_ij values and |P_ij|.
+
+    Every node contributes one ``(id, score_ij, |P_ij^v|)`` word triple to
+    an all-to-all broadcast (Lemma A.2, ``O(n)`` rounds); ``|P_ij|`` is the
+    sum of the third coordinates (each path counted once, at its leaf).
+    Nodes with nothing to report stay silent to keep the message count at
+    the paper's "at most n messages".
+    """
+    items = [
+        [(v, float(score_ij[v]), int(pij_leaf_counts[v]))]
+        if score_ij[v] or pij_leaf_counts[v]
+        else []
+        for v in range(net.n)
+    ]
+    received, stats = gather_and_broadcast(net, tree, items, label=label)
+    view = received[tree.root]
+    scores = {v: s for (v, s, _c) in view}
+    pij_total = int(sum(c for (_v, _s, c) in view))
+    return scores, pij_total, stats
+
+
+class _AncestorsProgram(NodeProgram):
+    """[2]'s Ancestors algorithm for one tree: stream (depth, id) downward."""
+
+    __slots__ = ("tree", "queue", "ancestors")
+
+    def __init__(self, node: int, tree: TreeView) -> None:
+        super().__init__(node)
+        self.tree = tree
+        self.queue: deque = deque()
+        self.ancestors: List[Tuple[int, int]] = []
+        if tree.live(node) and tree.live_children(node):
+            self.queue.append((tree.depth[node], node))
+        self.active = bool(self.queue)
+
+    def on_round(self, ctx: Ctx) -> None:
+        v = ctx.node
+        t = self.tree
+        for msg in ctx.inbox:
+            if msg.kind == "anc" and msg.src == t.parent[v]:
+                self.ancestors.append(msg.payload)
+                if t.live_children(v):
+                    self.queue.append(msg.payload)
+        if self.queue:
+            record = self.queue.popleft()
+            for c in t.live_children(v):
+                ctx.send(c, "anc", record)
+        self.active = bool(self.queue)
+
+
+def collect_ancestors(
+    net: CongestNetwork,
+    coll: CSSSPCollection,
+    label: str = "ancestors",
+) -> Tuple[Dict[int, Dict[int, List[int]]], RoundStats]:
+    """Every live node learns the ids on its root path, in every tree.
+
+    Returns ``(anc, stats)`` where ``anc[x][v]`` lists the strict ancestors
+    of ``v`` in ``T_x`` ordered root-first (so the hyperedge ending at leaf
+    ``v`` is ``anc[x][v][1:] + [v]``).  ``O(h)`` rounds per tree — each
+    edge forwards one record per round and carries at most ``h`` of them.
+    """
+    total = RoundStats(label=label)
+    anc: Dict[int, Dict[int, List[int]]] = {}
+    for x, t in coll.trees.items():
+        programs = [_AncestorsProgram(v, t) for v in range(coll.n)]
+        total.merge(net.run(programs, label=f"{label}({x})"))
+        per_node: Dict[int, List[int]] = {}
+        for v in range(coll.n):
+            if t.live(v):
+                records = sorted(programs[v].ancestors)
+                if len(records) != t.depth[v]:
+                    raise AssertionError(
+                        f"tree {x}: node {v} collected {len(records)} ancestors, "
+                        f"expected {t.depth[v]}"
+                    )
+                per_node[v] = [node for (_d, node) in records]
+        anc[x] = per_node
+    return anc, total
+
+
+__all__ = [
+    "broadcast_selection_stats",
+    "collect_ancestors",
+    "compute_vi_counts",
+    "count_paths",
+    "paths_with_min_count",
+]

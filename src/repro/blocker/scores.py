@@ -1,0 +1,150 @@
+"""Distributed score computation over CSSSP trees.
+
+``score(v)`` is the number of live length-``h`` root-to-leaf paths that
+contain ``v`` at depth >= 1 (Table 2; the root slot is excluded — see
+:mod:`repro.csssp.collection`).  The paper computes scores with the
+convergecast of [2]'s Algorithm 3: within each tree, every node learns the
+number of live depth-``h`` leaves in its subtree via a fixed-schedule
+bottom-up sum (node at depth ``d`` fires in round ``h - d``), then sums its
+per-tree values locally.  ``O(h)`` rounds per tree, ``O(|S| \\cdot h)``
+total.
+
+:func:`subtree_sums` is the generic convergecast (any per-node values);
+``score_ij`` reuses it with "leaf whose path is in P_ij" indicators, and
+Algorithm 13's message counts reuse it with all-ones values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.congest.metrics import RoundStats
+from repro.congest.network import CongestNetwork
+from repro.congest.node import Ctx, NodeProgram
+from repro.csssp.collection import CSSSPCollection, TreeView
+
+
+class _SubtreeSumProgram(NodeProgram):
+    """Fixed-schedule bottom-up sum within one tree.
+
+    A node at depth ``d`` accumulates its children's sums (delivered in
+    round ``h - d``, since children fire in round ``h - d - 1``) and sends
+    its own subtree sum to its parent during round ``h - d``.  Detached
+    (removed) nodes stay silent, so sums cover live nodes only.
+    """
+
+    __slots__ = ("tree", "h", "acc")
+
+    def __init__(self, node: int, tree: TreeView, h: int, value: float) -> None:
+        super().__init__(node)
+        self.tree = tree
+        self.h = h
+        self.acc = value
+        self.active = tree.live(node)
+
+    def on_round(self, ctx: Ctx) -> None:
+        v = ctx.node
+        t = self.tree
+        for msg in ctx.inbox:
+            if msg.kind == "ss" and t.parent[msg.src] == v:
+                self.acc += msg.payload[0]
+        fire = self.h - t.depth[v]
+        if ctx.round == fire and t.parent[v] >= 0:
+            ctx.send(t.parent[v], "ss", (self.acc,))
+        self.active = t.live(v) and ctx.round < fire
+
+
+def subtree_sums(
+    net: CongestNetwork,
+    coll: CSSSPCollection,
+    x: int,
+    values: Sequence[float],
+    label: str = "",
+) -> Tuple[List[float], RoundStats]:
+    """Per-node live-subtree sums of ``values`` in tree ``T_x``.
+
+    Returns ``sums`` with ``sums[v] = sum(values[u] for u in live
+    subtree(v))`` for live ``v`` (0 elsewhere), in at most ``h + 1`` rounds.
+    """
+    t = coll.trees[x]
+    programs = [
+        _SubtreeSumProgram(v, t, coll.h, values[v] if t.live(v) else 0.0)
+        for v in range(coll.n)
+    ]
+    stats = net.run(programs, label=label or f"subtree-sums({x})")
+    sums = [programs[v].acc if t.live(v) else 0.0 for v in range(coll.n)]
+    return sums, stats
+
+
+def leaf_indicators(coll: CSSSPCollection, x: int) -> List[float]:
+    """1.0 at live depth-``h`` leaves of ``T_x`` (hyperedge endpoints)."""
+    t = coll.trees[x]
+    return [
+        1.0 if t.depth[v] == coll.h and not t.removed[v] else 0.0
+        for v in range(coll.n)
+    ]
+
+
+def compute_scores(
+    net: CongestNetwork,
+    coll: CSSSPCollection,
+    label: str = "scores",
+) -> Tuple[List[float], Dict[int, List[float]], RoundStats]:
+    """``score(v)`` for every node plus the per-tree leaf-count aggregates.
+
+    Returns ``(score, per_tree, stats)`` where ``per_tree[x][v]`` is the
+    number of live depth-``h`` leaves under ``v`` in ``T_x`` — exactly the
+    subtree-additive aggregate :class:`repro.csssp.pruning.ParallelPruner`
+    maintains for the greedy baseline.  ``O(|S| \\cdot h)`` rounds.
+    """
+    total = RoundStats(label=label)
+    score = [0.0] * coll.n
+    per_tree: Dict[int, List[float]] = {}
+    for x in coll.trees:
+        sums, stats = subtree_sums(
+            net, coll, x, leaf_indicators(coll, x), label=f"{label}({x})"
+        )
+        total.merge(stats)
+        per_tree[x] = sums
+        t = coll.trees[x]
+        for v in range(coll.n):
+            if t.depth[v] >= 1 and not t.removed[v]:
+                score[v] += sums[v]
+    return score, per_tree, total
+
+
+def compute_score_ij(
+    net: CongestNetwork,
+    coll: CSSSPCollection,
+    pij_leaf: Dict[int, List[int]],
+    label: str = "score-ij",
+) -> Tuple[List[float], RoundStats]:
+    """``score_ij(v)`` — live paths in ``P_ij`` through ``v`` (Step 8, Alg. 2).
+
+    ``pij_leaf[x]`` lists the leaves of ``T_x`` whose path is in ``P_ij``
+    (each leaf knows this locally after Compute-Pij).  Same convergecast as
+    :func:`compute_scores`, ``O(|S| \\cdot h)`` rounds.
+    """
+    total = RoundStats(label=label)
+    score = [0.0] * coll.n
+    for x in coll.trees:
+        values = [0.0] * coll.n
+        for leaf in pij_leaf.get(x, ()):
+            values[leaf] = 1.0
+        if not pij_leaf.get(x):
+            continue
+        sums, stats = subtree_sums(net, coll, x, values, label=f"{label}({x})")
+        total.merge(stats)
+        t = coll.trees[x]
+        for v in range(coll.n):
+            if t.depth[v] >= 1 and not t.removed[v]:
+                score[v] += sums[v]
+    return score, total
+
+
+__all__ = [
+    "compute_score_ij",
+    "compute_scores",
+    "leaf_indicators",
+    "subtree_sums",
+]

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four subcommands mirror the example scripts so users can reproduce any
+result without writing code:
+
+* ``apsp`` — run one APSP algorithm on a generated instance, verify it,
+  print the per-step round ledger.
+* ``table1`` — regenerate Table 1 (measured) on a size sweep.
+* ``blocker`` — run the four blocker constructions on one instance.
+* ``step6`` — standalone reversed q-sink comparison (pipelined vs
+  broadcast).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.analysis import fit_exponent, render_table
+from repro.analysis.tables import TABLE1_ROWS, table1_measured
+from repro.congest import CongestNetwork
+from repro.csssp import build_csssp
+from repro.graphs import (
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    grid2d,
+    layered_digraph,
+    path_graph,
+    random_geometric,
+    ring_graph,
+    star_of_paths,
+    watts_strogatz,
+)
+from repro.apsp import (
+    baseline_n32_apsp,
+    deterministic_apsp,
+    five_thirds_apsp,
+    naive_bf_apsp,
+    randomized_apsp,
+)
+
+ALGORITHMS = {
+    "det-n43": deterministic_apsp,
+    "det-n32": baseline_n32_apsp,
+    "rand-n43": randomized_apsp,
+    "det-n53": five_thirds_apsp,
+    "naive-bf": naive_bf_apsp,
+}
+
+
+def make_graph(family: str, n: int, seed: int):
+    """Instantiate one of the generator families at roughly ``n`` nodes."""
+    if family == "er":
+        return erdos_renyi(n, p=max(0.1, 4.0 / n), seed=seed)
+    if family == "er-directed":
+        return erdos_renyi(n, p=max(0.12, 5.0 / n), seed=seed, directed=True)
+    if family == "grid":
+        side = max(2, round(math.sqrt(n)))
+        return grid2d(side, max(2, n // side), seed=seed)
+    if family == "ring":
+        return ring_graph(n, seed=seed)
+    if family == "path":
+        return path_graph(n, seed=seed)
+    if family == "complete":
+        return complete_graph(n, seed=seed)
+    if family == "ba":
+        return barabasi_albert(n, seed=seed)
+    if family == "star":
+        return star_of_paths(max(2, n // 6), 6, seed=seed)
+    if family == "layered":
+        return layered_digraph(max(2, n // 4), 4, seed=seed)
+    if family == "rgg":
+        return random_geometric(n, seed=seed)
+    if family == "ws":
+        return watts_strogatz(n, seed=seed)
+    raise SystemExit(f"unknown graph family {family!r}")
+
+
+GRAPH_FAMILIES = [
+    "er", "er-directed", "grid", "ring", "path", "complete", "ba", "star",
+    "layered", "rgg", "ws",
+]
+
+
+def cmd_apsp(args) -> int:
+    graph = make_graph(args.family, args.n, args.seed)
+    net = CongestNetwork(graph)
+    algo = ALGORITHMS[args.algorithm]
+    result = algo(net, graph)
+    if not args.no_verify:
+        result.verify(graph)
+        if result.pred is not None:
+            result.verify_paths(graph)
+        print("output verified exact (distances and routing)")
+    print(f"{result.algorithm} on {graph}: {result.rounds} rounds, "
+          f"meta={result.meta}")
+    print(result.log.render())
+    return 0
+
+
+def cmd_table1(args) -> int:
+    ns = args.sizes or [16, 24, 32, 48]
+    graphs = [make_graph(args.family, n, args.seed) for n in ns]
+    data = table1_measured(graphs, verify=not args.no_verify)
+    rows = []
+    for spec in TABLE1_ROWS:
+        if spec.run is None:
+            rows.append([spec.key, spec.claimed, "(quoted bound)", ""])
+            continue
+        series = data[spec.key]
+        rounds = [r for (_n, r, _res) in series]
+        alpha = fit_exponent([g.n for g in graphs], rounds).alpha
+        rows.append([spec.key, spec.claimed,
+                     " ".join(map(str, rounds)), f"{alpha:.2f}"])
+    print(render_table(
+        ["algorithm", "claimed", f"rounds at n={[g.n for g in graphs]}",
+         "fitted alpha"],
+        rows,
+        title=f"Table 1 measured on {args.family}",
+    ))
+    return 0
+
+
+def cmd_blocker(args) -> int:
+    from repro.blocker import (
+        deterministic_blocker_set,
+        greedy_blocker_set,
+        is_blocker_set,
+        randomized_blocker_set,
+        sampling_blocker_set,
+    )
+
+    graph = make_graph(args.family, args.n, args.seed)
+    net = CongestNetwork(graph)
+    h = args.h or max(1, round(graph.n ** (1 / 3)))
+    coll, stats = build_csssp(net, graph, range(graph.n), h)
+    print(f"{graph}: h={h}, {coll.path_count()} paths "
+          f"(CSSSP in {stats.rounds} rounds)")
+    rows = []
+    for name, fn in [
+        ("Algorithm 2' (det)", deterministic_blocker_set),
+        ("Algorithm 2 (rand)", randomized_blocker_set),
+        ("greedy [2]", greedy_blocker_set),
+        ("sampling", sampling_blocker_set),
+    ]:
+        res = fn(net, coll)
+        assert is_blocker_set(coll, res.blockers)
+        rows.append([name, res.q, res.stats.rounds, len(res.picks)])
+    print(render_table(
+        ["construction", "|Q|", "rounds", "selection steps"], rows
+    ))
+    return 0
+
+
+def cmd_step6(args) -> int:
+    from repro.blocker import deterministic_blocker_set
+    from repro.pipeline import broadcast_delivery, reversed_qsink
+    from repro.pipeline.values import reference_values
+
+    graph = make_graph(args.family, args.n, args.seed)
+    net = CongestNetwork(graph)
+    h = max(1, round(graph.n ** (1 / 3)))
+    coll, _ = build_csssp(net, graph, range(graph.n), h)
+    q_nodes = sorted(deterministic_blocker_set(net, coll).blockers)
+    values = reference_values(graph, q_nodes)
+    qs = reversed_qsink(net, graph, q_nodes, values)
+    _, bstats = broadcast_delivery(net, q_nodes, values)
+    print(f"{graph}: |Q|={len(q_nodes)} |Q'|={len(qs.q_prime)} "
+          f"|B|={len(qs.bottleneck.bottlenecks)}")
+    print(f"pipelined Step 6: {qs.stats.rounds} rounds")
+    print(f"broadcast Step 6: {bstats.rounds} rounds")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Faster Deterministic APSP in the "
+        "Congest Model' (Agarwal & Ramachandran, SPAA 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("apsp", help="run one APSP algorithm")
+    p.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="det-n43")
+    p.add_argument("--family", choices=GRAPH_FAMILIES, default="er")
+    p.add_argument("--n", type=int, default=27)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--no-verify", action="store_true")
+    p.set_defaults(func=cmd_apsp)
+
+    p = sub.add_parser("table1", help="regenerate Table 1 (measured)")
+    p.add_argument("--family", choices=GRAPH_FAMILIES, default="er")
+    p.add_argument("--sizes", type=int, nargs="*")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--no-verify", action="store_true")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("blocker", help="compare blocker constructions")
+    p.add_argument("--family", choices=GRAPH_FAMILIES, default="er")
+    p.add_argument("--n", type=int, default=24)
+    p.add_argument("--h", type=int)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_blocker)
+
+    p = sub.add_parser("step6", help="pipelined vs broadcast delivery")
+    p.add_argument("--family", choices=GRAPH_FAMILIES, default="er")
+    p.add_argument("--n", type=int, default=32)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_step6)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""The synchronous CONGEST engine.
+
+:class:`CongestNetwork` drives a set of :class:`~repro.congest.node.NodeProgram`
+instances over the *underlying undirected graph* of the input (Section 1.1:
+even for directed inputs the communication links are bidirectional).  One
+call to :meth:`CongestNetwork.run` executes one phase of an algorithm and
+returns its :class:`~repro.congest.metrics.RoundStats`; orchestrators compose
+phases sequentially just as Algorithm 1 composes Steps 1-7.
+
+Model fidelity
+--------------
+* **Synchrony** — messages sent in round ``r`` are delivered at the start of
+  round ``r + 1``.
+* **Bandwidth** — at most ``bandwidth`` messages per *directed* edge per
+  round (default 1), each carrying at most ``word_limit`` words.  The paper
+  assumes a constant number of ids / weights / distance values fit in one
+  round's message; programs that exceed the cap are bugs, so strict mode
+  raises :class:`BandwidthExceeded` instead of silently queueing.
+* **Locality** — a node may send only to neighbors in the underlying
+  undirected graph; violations raise :class:`NotANeighbor`.
+* **Rounds charged** — ``last tick with a send + 1``: idle rounds before the
+  final send (pipeline slots) are counted, trailing local computation is
+  free, matching how the paper charges fixed-schedule algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.congest.message import Message
+from repro.congest.metrics import RoundStats
+from repro.congest.node import Ctx, NodeProgram
+
+
+class BandwidthExceeded(RuntimeError):
+    """A node sent more than ``bandwidth`` messages over one edge in a round."""
+
+
+class NotANeighbor(RuntimeError):
+    """A node tried to send to a non-adjacent node."""
+
+
+class HardCapExceeded(RuntimeError):
+    """The engine ran past its safety cap without quiescing (likely a bug)."""
+
+
+class CongestNetwork:
+    """A CONGEST network over the underlying undirected graph of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Any object with an ``n`` attribute and an ``und_neighbors(v)`` method
+        returning the communication neighbors of ``v`` (e.g.
+        :class:`repro.graphs.Graph`).
+    bandwidth:
+        Messages allowed per directed edge per round.  The paper permits a
+        constant; 1 keeps algorithms honest, some primitives legitimately use
+        a small constant > 1.
+    word_limit:
+        Maximum payload words per message in strict mode.
+    strict:
+        When true (default), locality / bandwidth / word-size violations
+        raise immediately.
+    """
+
+    def __init__(
+        self,
+        graph,
+        bandwidth: int = 1,
+        word_limit: int = 8,
+        strict: bool = True,
+        track_edges: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.n: int = graph.n
+        self.bandwidth = bandwidth
+        self.word_limit = word_limit
+        self.strict = strict
+        self.track_edges = track_edges
+        self._adj: List[Sequence[int]] = [
+            tuple(graph.und_neighbors(v)) for v in range(self.n)
+        ]
+        self._adjsets = [frozenset(a) for a in self._adj]
+        #: cumulative stats over every ``run`` on this network
+        self.total = RoundStats(label="network-total")
+
+    # ------------------------------------------------------------------
+    def neighbors(self, v: int) -> Sequence[int]:
+        """Communication neighbors of ``v`` (underlying undirected graph)."""
+        return self._adj[v]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        programs: Sequence[NodeProgram],
+        max_rounds: Optional[int] = None,
+        label: str = "",
+        hard_cap: int = 5_000_000,
+    ) -> RoundStats:
+        """Execute one phase until quiescence (or ``max_rounds`` ticks).
+
+        Quiescence means: no messages in flight and every program has set
+        ``active = False``.  Returns the phase's :class:`RoundStats` and adds
+        it into :attr:`total`.
+        """
+        if len(programs) != self.n:
+            raise ValueError(f"need {self.n} programs, got {len(programs)}")
+
+        n = self.n
+        strict = self.strict
+        bandwidth = self.bandwidth
+        word_limit = self.word_limit
+        adjsets = self._adjsets
+
+        pending: Dict[int, List[Message]] = {}
+        per_node_sent: Dict[int, int] = {}
+        per_edge_sent: Dict[tuple, int] = {}
+        track_edges = self.track_edges
+        messages_total = 0
+        last_send_tick = -1
+        tick = 0
+
+        # Mutable state shared with the send closure.
+        edge_load: Dict[tuple, int] = {}
+        outbox: Dict[int, List[Message]] = {}
+        current_src = [-1]
+
+        def send(src: int, dst: int, kind: str, payload: tuple) -> None:
+            nonlocal messages_total
+            if strict:
+                if dst not in adjsets[src]:
+                    raise NotANeighbor(f"node {src} -> {dst}: not an edge")
+                key = (src, dst)
+                load = edge_load.get(key, 0) + 1
+                if load > bandwidth:
+                    raise BandwidthExceeded(
+                        f"edge {src}->{dst} carried {load} messages in one "
+                        f"round (bandwidth {bandwidth}, tick {tick})"
+                    )
+                edge_load[key] = load
+            msg = Message(src, kind, payload)
+            if strict and msg.words() > word_limit:
+                raise BandwidthExceeded(
+                    f"message {kind!r} from {src} has {msg.words()} words "
+                    f"(limit {word_limit})"
+                )
+            outbox.setdefault(dst, []).append(msg)
+            per_node_sent[src] = per_node_sent.get(src, 0) + 1
+            if track_edges:
+                ekey = (src, dst)
+                per_edge_sent[ekey] = per_edge_sent.get(ekey, 0) + 1
+
+        ctx = Ctx()
+        ctx._send = lambda src, dst, kind, payload: send(src, dst, kind, payload)
+        empty: List[Message] = []
+
+        active = {v for v in range(n) if programs[v].active}
+
+        while True:
+            if max_rounds is not None and tick > max_rounds:
+                break
+            if tick > hard_cap:
+                raise HardCapExceeded(
+                    f"phase {label!r} exceeded {hard_cap} ticks without quiescing"
+                )
+            inboxes = pending
+            pending = {}
+            wake = set(inboxes)
+            wake.update(active)
+            if not wake:
+                break
+
+            edge_load.clear()
+            sent_this_tick = False
+            for v in sorted(wake):  # sorted: deterministic execution order
+                prog = programs[v]
+                ctx.node = v
+                ctx.round = tick
+                ctx.inbox = inboxes.get(v, empty)
+                ctx.neighbors = self._adj[v]
+                prog.on_round(ctx)
+                if prog.active:
+                    active.add(v)
+                else:
+                    active.discard(v)
+            if outbox:
+                sent_this_tick = True
+                for dst, msgs in outbox.items():
+                    pending[dst] = msgs
+                    messages_total += len(msgs)
+                outbox = {}
+            if sent_this_tick:
+                last_send_tick = tick
+            tick += 1
+
+        stats = RoundStats(
+            rounds=last_send_tick + 1,
+            messages=messages_total,
+            per_node_sent=per_node_sent,
+            per_edge_sent=per_edge_sent,
+            label=label,
+        )
+        self.total.merge(stats)
+        return stats
+
+
+__all__ = [
+    "BandwidthExceeded",
+    "CongestNetwork",
+    "HardCapExceeded",
+    "NotANeighbor",
+]

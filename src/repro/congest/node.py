@@ -1,0 +1,66 @@
+"""Per-node protocol API for the CONGEST engine.
+
+A distributed algorithm is expressed as one :class:`NodeProgram` instance per
+node.  The engine calls :meth:`NodeProgram.on_round` once per synchronous
+round, passing a :class:`Ctx` that exposes exactly the local view the CONGEST
+model grants a processor: its own id, its incident communication edges, the
+messages delivered this round, and a ``send`` primitive restricted to
+neighbors.  Nodes have unbounded local computation (Section 1.1), so anything
+done inside ``on_round`` without sending is free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.congest.message import Message
+
+
+class Ctx:
+    """The local view a node has during one round.
+
+    Instances are created by the engine and reused across rounds; programs
+    must not retain references to ``inbox`` across rounds (copy if needed).
+    """
+
+    __slots__ = ("node", "round", "inbox", "_send", "neighbors")
+
+    def __init__(self) -> None:
+        self.node: int = -1
+        self.round: int = 0
+        self.inbox: List[Message] = []
+        self.neighbors: Sequence[int] = ()
+        self._send: Callable[[int, int, str, tuple], None] = _no_send
+
+    def send(self, dst: int, kind: str, payload: tuple = ()) -> None:
+        """Queue one message to neighbor ``dst``, delivered next round."""
+        self._send(self.node, dst, kind, payload)
+
+
+def _no_send(src: int, dst: int, kind: str, payload: tuple) -> None:
+    raise RuntimeError("send() called outside an engine round")
+
+
+class NodeProgram:
+    """Base class for the per-node side of a distributed algorithm.
+
+    Subclasses override :meth:`on_round`.  The engine wakes a node in round
+    ``r`` when it has messages delivered in ``r`` *or* its :attr:`active`
+    flag is true; a program that has nothing left to do should set
+    ``self.active = False`` so the engine can detect quiescence.  Programs
+    with a fixed schedule (pipelines) keep ``active`` true until their
+    schedule is exhausted.
+    """
+
+    __slots__ = ("node", "active")
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self.active = True
+
+    def on_round(self, ctx: Ctx) -> None:  # pragma: no cover - interface
+        """Handle round ``ctx.round``: read ``ctx.inbox``, call ``ctx.send``."""
+        raise NotImplementedError
+
+
+__all__ = ["Ctx", "NodeProgram"]

@@ -1,0 +1,132 @@
+"""CSSSP construction (the [1] recipe, Lemma A.4).
+
+To build an ``h``-CSSSP for source set ``S``: run a ``2h``-hop Bellman-Ford
+from (or, for in-collections, *to*) each source, then keep the first ``h``
+hops of each tree.  Because path labels are lexicographically unique
+(:mod:`repro.graphs.spec`):
+
+* every node whose *true* shortest path from/to the root needs ``k <= h``
+  hops ends with its true label (the ``2h``-hop optimum cannot beat the
+  unconstrained optimum) at depth ``k``, with the true path as its tree
+  path — the property the blocker-coverage and Step-6 routing arguments
+  rely on;
+* any two trees agree on shared segments of such paths.
+
+Truncation is *chain-consistent*: a node survives only if its parent
+survives and the parent's final label extends exactly to its own.  This
+matters because a hop-limited label can be achieved through a prefix that a
+neighbor's *final* label no longer equals (the neighbor later found a
+lighter path with more hops, whose extension would blow the hop budget);
+such nodes carry correct hop-limited distances but dangle off the tree, so
+they are dropped.  Nodes with true ``<= h``-hop shortest paths always have
+intact chains, so Definition A.3's containment guarantee is unaffected.
+The kept flag is established by one more ``O(h)``-round flood per source
+(nodes at hop ``k`` announce their label in round ``k``; a receiver keeps
+itself if its recorded parent's announcement extends to its own label).
+
+Round cost per source: ``2h + 1`` (Bellman-Ford) + ``h + 1`` (kept flood)
++ 1 (children notification) — ``O(|S| \\cdot h)`` total, as charged by
+Lemma A.4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.congest.metrics import RoundStats
+from repro.congest.network import CongestNetwork
+from repro.congest.node import Ctx, NodeProgram
+from repro.csssp.collection import CSSSPCollection, TreeView
+from repro.graphs.spec import Cost, Graph, INF_COST, add_cost
+from repro.primitives.bellman_ford import SSSPResult, bellman_ford, notify_children
+
+
+class _TruncateProgram(NodeProgram):
+    """Flood kept flags down the Bellman-Ford parentage, checking chains.
+
+    A kept node at hop ``k < h`` announces its final label to all neighbors
+    in round ``k``; a hop-``k+1`` node keeps itself iff the announcement
+    came from its recorded parent and extends exactly to its own label.
+    """
+
+    __slots__ = ("h", "hops", "parent", "label", "_edge_in", "kept", "_sent")
+
+    def __init__(
+        self, node: int, graph: Graph, res: SSSPResult, h: int
+    ) -> None:
+        super().__init__(node)
+        self.h = h
+        self.hops = res.hops[node]
+        self.parent = res.parent[node]
+        self.label = res.label[node]
+        if not res.reverse:
+            self._edge_in: Dict[int, Tuple[float, int]] = {
+                u: (w, tb) for (u, w, tb) in graph.in_edges(node)
+            }
+        else:
+            self._edge_in = {u: (w, tb) for (u, w, tb) in graph.out_edges(node)}
+        self.kept = node == res.source
+        self._sent = False
+
+    def on_round(self, ctx: Ctx) -> None:
+        for msg in ctx.inbox:
+            if msg.kind == "kp" and msg.src == self.parent and not self.kept:
+                if 0 < self.hops <= self.h:
+                    w, tb = self._edge_in[msg.src]
+                    if add_cost(msg.payload, w, tb) == self.label:
+                        self.kept = True
+        if self.kept and not self._sent and ctx.round == self.hops:
+            self._sent = True
+            if self.hops < self.h:
+                for u in ctx.neighbors:
+                    ctx.send(u, "kp", self.label)
+        self.active = self.kept and not self._sent
+
+
+def build_csssp(
+    net: CongestNetwork,
+    graph: Graph,
+    sources: Iterable[int],
+    h: int,
+    orientation: str = "out",
+    label: str = "csssp",
+) -> Tuple[CSSSPCollection, RoundStats]:
+    """Build the ``h``-CSSSP (out) or ``h``-in-CSSSP for ``sources``.
+
+    Returns the collection plus the composed round stats of every
+    construction phase.
+    """
+    if h < 1:
+        raise ValueError("h must be >= 1")
+    reverse = orientation == "in"
+    total = RoundStats(label=label)
+    trees: Dict[int, TreeView] = {}
+    for x in sources:
+        res = bellman_ford(
+            net, graph, x, h=2 * h, reverse=reverse, label=f"{label}-bf({x})"
+        )
+        total.merge(res.rounds)
+        programs = [_TruncateProgram(v, graph, res, h) for v in range(graph.n)]
+        total.merge(net.run(programs, label=f"{label}-trunc({x})"))
+        parent = [-1] * graph.n
+        depth = [-1] * graph.n
+        dist = [float("inf")] * graph.n
+        for v in range(graph.n):
+            if programs[v].kept:
+                depth[v] = res.hops[v]
+                dist[v] = res.dist[v]
+                parent[v] = res.parent[v]
+        children, nstats = notify_children(net, parent, label=f"{label}-kids({x})")
+        total.merge(nstats)
+        trees[x] = TreeView(
+            root=x,
+            parent=parent,
+            depth=depth,
+            dist=dist,
+            children=children,
+            removed=[False] * graph.n,
+        )
+    return CSSSPCollection(graph, h, trees, orientation), total
+
+
+__all__ = ["build_csssp"]

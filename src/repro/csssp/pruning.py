@@ -1,0 +1,199 @@
+"""Distributed subtree removal.
+
+Two protocols, matching the two cost regimes in the papers:
+
+* :func:`remove_subtrees_sequential` — the paper's Algorithm 6, run "for
+  each source in sequence": in tree ``T_x`` every removal root sends its id
+  to its children and the notice floods down, detaching the subtree.
+  ``O(h)`` rounds per tree, ``O(|S| \\cdot h)`` total — the cost Algorithm 2
+  Step 15 budgets per selection step.
+
+* :class:`ParallelPruner` — the pipelined variant used where a *single*
+  removal must be cheap: the greedy blocker baseline of [2] (``O(n)``
+  cleanup per chosen vertex) and the bottleneck-node loop of Algorithm 13
+  (Step 6 "update total_count values ... in O(n) rounds").  All trees are
+  pruned concurrently with one FIFO per incident edge (CONGEST allows a
+  different message per edge per round), and each removal root also sends a
+  *subtraction* notice up its tree so that ancestors keep their subtree
+  aggregate (score / message count) exact.  A subtraction is absorbed at the
+  first removed ancestor it meets, which prevents double-counting when the
+  removal root sits inside an earlier removal's subtree.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.congest.metrics import RoundStats
+from repro.congest.network import CongestNetwork
+from repro.congest.node import Ctx, NodeProgram
+from repro.csssp.collection import CSSSPCollection
+
+
+class _SequentialRemoveProgram(NodeProgram):
+    """Algorithm 6 for one tree: flood the removal notice down."""
+
+    __slots__ = ("tree", "_start")
+
+    def __init__(self, node: int, tree, start: bool) -> None:
+        super().__init__(node)
+        self.tree = tree
+        self._start = start
+
+    def on_round(self, ctx: Ctx) -> None:
+        v = ctx.node
+        fire = False
+        if ctx.round == 0 and self._start:
+            fire = not self.tree.removed[v]
+        for msg in ctx.inbox:
+            if msg.kind == "rm" and not self.tree.removed[v]:
+                fire = True
+        if fire:
+            self.tree.removed[v] = True
+            for c in self.tree.live_children(v):
+                ctx.send(c, "rm")
+        self.active = False
+
+
+def remove_subtrees_sequential(
+    net: CongestNetwork,
+    coll: CSSSPCollection,
+    roots: Iterable[int],
+    label: str = "remove-subtrees",
+) -> RoundStats:
+    """Algorithm 6: detach subtrees rooted at ``roots`` in every tree.
+
+    A root is removed from tree ``T_x`` only where it sits at depth >= 1
+    (a node never "covers" the paths of its own tree from the root slot).
+    One flood phase per source, ``O(h)`` rounds each.
+    """
+    rootset = set(roots)
+    total = RoundStats(label=label)
+    for x, t in coll.trees.items():
+        starts = [
+            v in rootset and t.depth[v] >= 1 and not t.removed[v]
+            for v in range(t.n)
+        ]
+        if not any(starts):
+            continue
+        programs = [_SequentialRemoveProgram(v, t, starts[v]) for v in range(t.n)]
+        total.merge(net.run(programs, label=f"{label}({x})"))
+    return total
+
+
+class _ParallelPruneProgram(NodeProgram):
+    """Per-edge-FIFO flood-down + aggregate subtraction-up, all trees at once."""
+
+    __slots__ = ("coll", "agg", "totals", "_init_roots", "_queues")
+
+    def __init__(
+        self,
+        node: int,
+        coll: CSSSPCollection,
+        agg: Dict[int, List[float]],
+        totals: List[float],
+        init_roots: Sequence[int],
+    ) -> None:
+        super().__init__(node)
+        self.coll = coll
+        self.agg = agg
+        self.totals = totals
+        self._init_roots = init_roots
+        self._queues: Dict[int, Deque[Tuple[str, tuple]]] = {}
+
+    def _enqueue(self, dst: int, kind: str, payload: tuple) -> None:
+        self._queues.setdefault(dst, deque()).append((kind, payload))
+
+    def _detach(self, x: int, ctxless: bool = False) -> None:
+        """Mark self removed in tree ``x`` and queue the down-flood."""
+        t = self.coll.trees[x]
+        v = self.node
+        t.removed[v] = True
+        self.totals[v] -= self.agg[x][v]
+        for c in t.live_children(v):
+            self._enqueue(c, "rm", (x,))
+
+    def on_round(self, ctx: Ctx) -> None:
+        v = ctx.node
+        coll = self.coll
+        if ctx.round == 0 and v in self._init_roots:
+            for x, t in coll.trees.items():
+                if t.depth[v] >= 1 and not t.removed[v]:
+                    # Ancestors lose this whole subtree's aggregate.
+                    self._enqueue(t.parent[v], "sub", (x, self.agg[x][v]))
+                    self._detach(x)
+        for msg in ctx.inbox:
+            kind = msg.kind
+            if kind == "rm":
+                (x,) = msg.payload
+                if not coll.trees[x].removed[v]:
+                    self._detach(x)
+            elif kind == "sub":
+                x, delta = msg.payload
+                t = coll.trees[x]
+                self.agg[x][v] -= delta
+                if t.removed[v]:
+                    continue  # absorbed: detached subtrees report nothing up
+                if t.depth[v] >= 1:
+                    # Root totals never count their own tree (hyperedges
+                    # exclude the depth-0 slot), so only depth >= 1 adjusts.
+                    self.totals[v] -= delta
+                if t.parent[v] >= 0:
+                    self._enqueue(t.parent[v], "sub", (x, delta))
+        for dst, q in self._queues.items():
+            if q:
+                kind, payload = q.popleft()
+                ctx.send(dst, kind, payload)
+        self.active = any(q for q in self._queues.values())
+
+
+class ParallelPruner:
+    """Maintains per-tree subtree aggregates under repeated removals.
+
+    Parameters
+    ----------
+    net, coll:
+        Engine and the (mutable) collection to prune.
+    agg:
+        ``{source: per-node aggregate}`` — any subtree-additive quantity
+        (depth-``h`` leaf counts for scores, subtree sizes for Algorithm 13
+        message counts).  Must equal the subtree sums over *live* nodes at
+        construction time; the pruner keeps that invariant.
+
+    ``totals[v]`` is node ``v``'s current total over trees where it is
+    live — exactly ``total_count_v`` of Algorithm 13 Step 2 / the node
+    score of the greedy baseline.
+    """
+
+    def __init__(
+        self,
+        net: CongestNetwork,
+        coll: CSSSPCollection,
+        agg: Dict[int, List[float]],
+    ) -> None:
+        self.net = net
+        self.coll = coll
+        self.agg = agg
+        self.totals: List[float] = [0.0] * coll.n
+        for x, values in agg.items():
+            t = coll.trees[x]
+            for v in range(coll.n):
+                if t.live(v) and t.depth[v] >= 1:
+                    self.totals[v] += values[v]
+
+    def remove(self, roots: Sequence[int], label: str = "prune") -> RoundStats:
+        """Detach the subtrees of ``roots`` in every tree, updating aggregates.
+
+        ``O(|S| + h)`` rounds per call (one subtraction per tree climbs at
+        most ``h`` edges; per-edge FIFOs drain one notice per round).
+        """
+        rootset = tuple(sorted(set(roots)))
+        programs = [
+            _ParallelPruneProgram(v, self.coll, self.agg, self.totals, rootset)
+            for v in range(self.net.n)
+        ]
+        return self.net.run(programs, label=label)
+
+
+__all__ = ["ParallelPruner", "remove_subtrees_sequential"]

@@ -1,0 +1,45 @@
+"""Step 6 — the reversed q-sink shortest-path problem (Section 4) + Step 7.
+
+Every source ``x`` holds a distance value ``delta(x, c)`` for every blocker
+node ``c``; Step 6 must deliver each value *to* ``c``.  The trivial
+solution broadcasts all ``n \\cdot |Q| = O~(n^{5/3})`` values
+(:mod:`~repro.pipeline.broadcast_delivery`); the paper's contribution is an
+``O~(n^{4/3})`` deterministic method split by hop distance:
+
+* :mod:`~repro.pipeline.long_range` — Algorithm 8 (``hops > n^{2/3}``):
+  a second-level blocker set ``Q'`` on the ``n^{2/3}``-in-CSSSP relays the
+  values through full SSSPs and an ``n \\cdot |Q'|``-value broadcast.
+* :mod:`~repro.pipeline.bottleneck` — Algorithms 13/14: find the
+  ``O~(n^{1/3})`` bottleneck nodes whose removal caps every node's
+  remaining message load at ``n \\sqrt{|Q|}``.
+* :mod:`~repro.pipeline.short_range` — Algorithm 9 (``hops <= n^{2/3}``):
+  bottleneck relays plus the frame/stage round-robin pipeline that pushes
+  the surviving values up the pruned in-trees.
+* :mod:`~repro.pipeline.reversed_qsink` — the Step 6 orchestrator
+  combining both cases (every blocker node takes the minimum over the
+  candidates each case produced).
+* :mod:`~repro.pipeline.extension` — Step 7: extended ``h``-hop
+  Bellman-Ford from the delivered values (Section 5).
+"""
+
+from repro.pipeline.bottleneck import BottleneckResult, compute_bottleneck
+from repro.pipeline.broadcast_delivery import broadcast_delivery
+from repro.pipeline.extension import extend_h_hop
+from repro.pipeline.long_range import long_range_delivery
+from repro.pipeline.reversed_qsink import QSinkResult, reversed_qsink
+from repro.pipeline.short_range import short_range_delivery
+from repro.pipeline.values import add_triples, is_finite, reference_values
+
+__all__ = [
+    "BottleneckResult",
+    "QSinkResult",
+    "broadcast_delivery",
+    "compute_bottleneck",
+    "extend_h_hop",
+    "long_range_delivery",
+    "reversed_qsink",
+    "add_triples",
+    "is_finite",
+    "reference_values",
+    "short_range_delivery",
+]

@@ -1,0 +1,33 @@
+"""Distributed building blocks used by every algorithm in the paper.
+
+* :mod:`~repro.primitives.bfs` — BFS spanning tree of the communication
+  graph (the paper's "BFS in-tree rooted at leader l", Algorithm 7 Step 2).
+* :mod:`~repro.primitives.broadcast` — the broadcast primitives of
+  Lemmas A.1 and A.2 (pipelined upcast + downcast over the BFS tree).
+* :mod:`~repro.primitives.convergecast` — tree aggregation: scalar
+  min/max/sum with O(depth) rounds, and the pipelined per-sample-point sum
+  convergecast of Algorithms 11/12.
+* :mod:`~repro.primitives.bellman_ford` — distributed ``h``-hop
+  Bellman-Ford (out-SSSP and in-SSSP) with deterministic lexicographic
+  tie-breaking, the workhorse of Steps 1, 3 and 7 of Algorithm 1.
+"""
+
+from repro.primitives.bfs import BFSTree, build_bfs_tree
+from repro.primitives.broadcast import broadcast_from_root, gather_and_broadcast
+from repro.primitives.convergecast import (
+    aggregate_and_broadcast,
+    pipelined_vector_sum,
+)
+from repro.primitives.bellman_ford import SSSPResult, bellman_ford, notify_children
+
+__all__ = [
+    "BFSTree",
+    "SSSPResult",
+    "aggregate_and_broadcast",
+    "bellman_ford",
+    "broadcast_from_root",
+    "build_bfs_tree",
+    "gather_and_broadcast",
+    "notify_children",
+    "pipelined_vector_sum",
+]

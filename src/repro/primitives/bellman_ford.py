@@ -1,0 +1,238 @@
+"""Distributed ``h``-hop Bellman-Ford (the workhorse of Steps 1, 3 and 7).
+
+The synchronous distributed Bellman-Ford [3] computes, in ``h`` rounds, the
+lexicographically tie-broken optimum over all paths with at most ``h`` edges:
+a node whose label improves while processing round ``r``'s inbox re-announces
+it in the same round, so a label that traveled ``k`` hops arrives exactly in
+round ``k``; no message is sent after round ``h`` and the engine quiesces.
+
+Three variants cover every use in the paper:
+
+* **out-SSSP** (``reverse=False``) — labels flow along directed edges;
+  ``dist[v]`` is ``δ_h(source, v)``.
+* **in-SSSP** (``reverse=True``) — labels flow against directed edges (the
+  holder announces to the *tails* of its in-edges); ``dist[v]`` is
+  ``δ_h(v, source)`` and ``parent[v]`` is the next hop *toward* the root, so
+  the result is a tree rooted at the sink exactly like the out case.
+* **multi-init** (``inits=...``) — Step 7's *extended h-hop shortest paths*
+  (Section 5): blocker nodes start with ``δ(x, c)`` and hop budget 0.
+
+Labels are :data:`repro.graphs.spec.Cost` triples ``(weight, hops, tiebreak)``
+compared lexicographically; one label is three CONGEST words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.congest.metrics import RoundStats
+from repro.congest.network import CongestNetwork
+from repro.congest.node import Ctx, NodeProgram
+from repro.graphs.spec import Cost, Graph, INF_COST, ZERO_COST
+
+
+@dataclass
+class SSSPResult:
+    """Outcome of one (possibly hop-limited) SSSP computation.
+
+    ``dist[v]``/``hops[v]``/``parent[v]`` describe the tie-broken optimal
+    path between ``v`` and ``source`` (direction per ``reverse``); ``label``
+    keeps the full lexicographic cost for consumers (CSSSP construction)
+    that need exact tie-break comparisons.  ``parent[v]`` is -1 for the
+    source and for unreachable nodes.
+    """
+
+    source: int
+    h: int
+    reverse: bool
+    dist: List[float]
+    hops: List[int]
+    parent: List[int]
+    label: List[Cost]
+    rounds: RoundStats = field(default_factory=RoundStats)
+
+    @property
+    def n(self) -> int:
+        return len(self.dist)
+
+    def reaches(self, v: int) -> bool:
+        """Whether ``v`` got a finite label."""
+        return self.label[v] != INF_COST
+
+
+class _BFProgram(NodeProgram):
+    """One node's side of the h-hop Bellman-Ford protocol.
+
+    The label is the *true* lexicographic path triple ``(weight, hops,
+    tb)`` — in Step 7 an initialization can carry a hop count larger than
+    the budget, because it summarizes a whole multi-blocker path.  The
+    hop *budget* (edges traversed since the originating initialization)
+    is tracked separately so the ``h``-limit applies to the extension
+    only; it rides along as a fourth message word.  Keeping the label in
+    true path order makes every comparison agree with the Step-5 closure,
+    so equal-triple confirmation (predecessor routing) is exact.
+    """
+
+    __slots__ = (
+        "h", "label", "budget", "parent", "_dirty", "_edge_in", "_targets",
+        "_fill_equal",
+    )
+
+    def __init__(
+        self,
+        node: int,
+        graph: Graph,
+        h: int,
+        reverse: bool,
+        init: Optional[Cost],
+        fill_equal_parent: bool = False,
+    ) -> None:
+        super().__init__(node)
+        self.h = h
+        self.label: Cost = init if init is not None else INF_COST
+        self.budget = 0
+        self.parent = -1
+        self._fill_equal = fill_equal_parent
+        self._dirty = self.label != INF_COST
+        if not reverse:
+            # Receive from tails of in-edges; announce to heads of out-edges.
+            self._edge_in: Dict[int, Tuple[float, int]] = {
+                u: (w, tb) for (u, w, tb) in graph.in_edges(node)
+            }
+            self._targets: Tuple[int, ...] = tuple(
+                u for (u, _w, _tb) in graph.out_edges(node)
+            )
+        else:
+            # Labels flow against edge direction: receive from heads of
+            # out-edges, announce to tails of in-edges.
+            self._edge_in = {u: (w, tb) for (u, w, tb) in graph.out_edges(node)}
+            self._targets = tuple(u for (u, _w, _tb) in graph.in_edges(node))
+
+    def on_round(self, ctx: Ctx) -> None:
+        for msg in ctx.inbox:
+            if msg.kind != "bf":
+                continue
+            wt = self._edge_in.get(msg.src)
+            if wt is None:  # pragma: no cover - defensive
+                continue
+            d, k, t, b = msg.payload
+            cand: Cost = (d + wt[0], k + 1, t + wt[1])
+            if b + 1 <= self.h and cand < self.label:
+                self.label = cand
+                self.budget = b + 1
+                self.parent = msg.src
+                self._dirty = True
+            elif (
+                self._fill_equal
+                and self.parent < 0
+                and b + 1 <= self.h
+                and cand[1] == self.label[1]
+                and cand[2] == self.label[2]
+                and abs(cand[0] - self.label[0])
+                <= 1e-9 * (1.0 + abs(self.label[0]))
+            ):
+                # Step 7 routing: a node initialized with a Step-6 value
+                # wins its own label (the initialization *is* the optimum),
+                # but the confirming relaxation along the *same* path —
+                # identified exactly by the integer hop count and tie-break
+                # fingerprint — carries the predecessor.  Record the last
+                # edge without touching the label; because the fingerprint
+                # pins the unique tie-broken shortest path, the resulting
+                # predecessor pointers form a tree even across zero-weight
+                # ties.
+                self.parent = msg.src
+        if self._dirty:
+            self._dirty = False
+            if self.budget < self.h:
+                for u in self._targets:
+                    ctx.send(u, "bf", self.label + (self.budget,))
+        self.active = False  # wake again only on message delivery
+
+
+def bellman_ford(
+    net: CongestNetwork,
+    graph: Graph,
+    source: int,
+    h: Optional[int] = None,
+    reverse: bool = False,
+    inits: Optional[Dict[int, Cost]] = None,
+    fill_equal_parent: bool = False,
+    label: str = "",
+) -> SSSPResult:
+    """Run one distributed (in- or out-) ``h``-hop Bellman-Ford phase.
+
+    Parameters
+    ----------
+    net, graph:
+        The engine and the weighted instance (same node set).
+    source:
+        Root of the SSSP; with ``inits`` this only names the result.
+    h:
+        Hop budget; ``None`` means ``n - 1`` (a full SSSP).
+    reverse:
+        Compute distances *to* ``source`` (an in-SSSP / in-tree).
+    inits:
+        Optional ``{node: Cost}`` starting labels (Step 7 extension);
+        defaults to ``{source: ZERO_COST}``.
+
+    Round cost: at most ``h + 1`` engine rounds (Lemma A.4's per-source
+    ``O(h)``), message cost at most one label per directed edge per round.
+    """
+    if h is None:
+        h = graph.n - 1
+    if inits is None:
+        inits = {source: ZERO_COST}
+    programs = [
+        _BFProgram(v, graph, h, reverse, inits.get(v), fill_equal_parent)
+        for v in range(graph.n)
+    ]
+    stats = net.run(
+        programs, label=label or f"bf(src={source},h={h},{'in' if reverse else 'out'})"
+    )
+    return SSSPResult(
+        source=source,
+        h=h,
+        reverse=reverse,
+        dist=[p.label[0] for p in programs],
+        hops=[p.label[1] if p.label != INF_COST else -1 for p in programs],
+        parent=[p.parent for p in programs],
+        label=[p.label for p in programs],
+        rounds=stats,
+    )
+
+
+class _NotifyChildrenProgram(NodeProgram):
+    """One-round phase: every node announces itself to its tree parent."""
+
+    __slots__ = ("parent", "children")
+
+    def __init__(self, node: int, parent: Sequence[int]) -> None:
+        super().__init__(node)
+        self.parent = parent[node]
+        self.children: List[int] = []
+
+    def on_round(self, ctx: Ctx) -> None:
+        if ctx.round == 0 and self.parent >= 0:
+            ctx.send(self.parent, "child")
+        for msg in ctx.inbox:
+            if msg.kind == "child":
+                self.children.append(msg.src)
+        self.active = False
+
+
+def notify_children(
+    net: CongestNetwork, parent: Sequence[int], label: str = "notify-children"
+) -> Tuple[List[List[int]], RoundStats]:
+    """Make children lists local knowledge for one tree (1 round, 1 msg/edge).
+
+    After any Bellman-Ford phase each node knows its *parent* in the tree but
+    a parent does not know its children; tree-flood algorithms (Compute-Pi,
+    Remove-Subtrees, the count convergecasts) need them.  One round per tree.
+    """
+    programs = [_NotifyChildrenProgram(v, parent) for v in range(net.n)]
+    stats = net.run(programs, label=label)
+    return [sorted(p.children) for p in programs], stats
+
+
+__all__ = ["SSSPResult", "bellman_ford", "notify_children"]

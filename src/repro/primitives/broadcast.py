@@ -1,0 +1,132 @@
+"""Broadcast primitives (Lemmas A.1 and A.2).
+
+Lemma A.1: a node can broadcast ``k`` local values to all other nodes in
+``O(n + k)`` rounds.  Lemma A.2: all nodes can broadcast one (more
+generally, a total of ``K``) local values to every other node in ``O(n + K)``
+rounds.  Both are realized the standard way: pipelined *upcast* of all items
+to the BFS-tree root (one item per tree edge per round, in parallel across
+edges), then pipelined *downcast* from the root.  End-of-stream markers make
+termination local knowledge, so the engine's quiescence detection charges
+only the rounds actually used — at most ``2·height + 2·K + 2``.
+
+Items must be constant-size tuples of ids / weights (CONGEST words).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence, Tuple
+
+from repro.congest.metrics import RoundStats
+from repro.congest.network import CongestNetwork
+from repro.congest.node import Ctx, NodeProgram
+from repro.primitives.bfs import BFSTree
+
+
+class _GatherBroadcastProgram(NodeProgram):
+    __slots__ = (
+        "tree",
+        "upq",
+        "pending_up",
+        "collected",
+        "downq",
+        "received",
+        "_sent_ud",
+        "_down_done_from_parent",
+    )
+
+    def __init__(self, node: int, tree: BFSTree, items: Sequence[tuple]) -> None:
+        super().__init__(node)
+        self.tree = tree
+        root = node == tree.root
+        self.upq = deque() if root else deque(items)
+        self.pending_up = set(tree.children[node])
+        self.collected: List[tuple] = list(items) if root else []
+        self.downq: deque = deque()
+        self.received: List[tuple] = []
+        self._sent_ud = False
+        self._down_done_from_parent = False
+
+    def on_round(self, ctx: Ctx) -> None:
+        v = ctx.node
+        tree = self.tree
+        root = v == tree.root
+        for msg in ctx.inbox:
+            if msg.kind == "it":
+                if root:
+                    self.collected.append(msg.payload)
+                else:
+                    self.upq.append(msg.payload)
+            elif msg.kind == "ud":
+                self.pending_up.discard(msg.src)
+            elif msg.kind == "dit":
+                self.received.append(msg.payload)
+                self.downq.append(("dit", msg.payload))
+            elif msg.kind == "dd":
+                self._down_done_from_parent = True
+                self.downq.append(("dd", ()))
+
+        # --- upcast: one item per round toward the parent --------------
+        if not root:
+            if self.upq:
+                ctx.send(tree.parent[v], "it", self.upq.popleft())
+            elif not self._sent_ud and not self.pending_up:
+                self._sent_ud = True
+                ctx.send(tree.parent[v], "ud")
+        elif not self._sent_ud and not self.pending_up and not self.upq:
+            # Root has everything: switch to the downcast phase.
+            self._sent_ud = True
+            self.received = list(self.collected)
+            for item in self.collected:
+                self.downq.append(("dit", item))
+            self.downq.append(("dd", ()))
+
+        # --- downcast: one item per round along every child edge -------
+        if self.downq:
+            kind, payload = self.downq.popleft()
+            for c in tree.children[v]:
+                ctx.send(c, kind, payload)
+
+        # Stay active until the upcast end-of-stream marker is out (a node
+        # that sent its last item must still send "ud" next round) and
+        # while downcast work is queued.
+        self.active = bool(self.upq) or bool(self.downq) or not self._sent_ud
+
+
+def gather_and_broadcast(
+    net: CongestNetwork,
+    tree: BFSTree,
+    items_per_node: Sequence[Sequence[tuple]],
+    label: str = "broadcast-all",
+) -> Tuple[List[List[tuple]], RoundStats]:
+    """Every node contributes items; afterwards every node knows all items.
+
+    The engine-level realization of Lemma A.2 (and of Lemma A.1 when only
+    one node contributes).  Returns per-node received lists (identical
+    content, root-determined order) and the phase stats.
+    """
+    programs = [
+        _GatherBroadcastProgram(v, tree, items_per_node[v]) for v in range(net.n)
+    ]
+    stats = net.run(programs, label=label)
+    received = [p.received for p in programs]
+    # Every node must have ended with the same multiset of items.
+    expected = sorted(received[tree.root])
+    for v in range(net.n):
+        assert sorted(received[v]) == expected, f"broadcast incomplete at node {v}"
+    return received, stats
+
+
+def broadcast_from_root(
+    net: CongestNetwork,
+    tree: BFSTree,
+    items: Sequence[tuple],
+    label: str = "broadcast-root",
+) -> Tuple[List[List[tuple]], RoundStats]:
+    """Lemma A.1 specialized to the tree root: downcast ``k`` items."""
+    per_node: List[Sequence[tuple]] = [[] for _ in range(net.n)]
+    per_node[tree.root] = list(items)
+    return gather_and_broadcast(net, tree, per_node, label=label)
+
+
+__all__ = ["broadcast_from_root", "gather_and_broadcast"]

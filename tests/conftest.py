@@ -1,0 +1,113 @@
+"""Shared fixtures: canonical small instances and their networks.
+
+Session-scoped caches keep the suite fast — collections and reference
+matrices are reused by every test that only *reads* them.  Tests that
+mutate a collection must use ``.copy()`` (the algorithms already do).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.congest import CongestNetwork
+from repro.csssp import build_csssp
+from repro.graphs import (
+    broom,
+    erdos_renyi,
+    grid2d,
+    layered_digraph,
+    path_graph,
+    ring_graph,
+    star_of_paths,
+)
+from repro.graphs.reference import all_pairs_shortest_paths
+
+
+def make_graph(kind: str):
+    """Deterministic canonical instances used across the suite."""
+    if kind == "er-sparse":
+        return erdos_renyi(24, p=0.12, seed=3)
+    if kind == "er-dense":
+        return erdos_renyi(20, p=0.4, seed=7)
+    if kind == "er-zero":
+        return erdos_renyi(18, p=0.25, seed=11, zero_frac=0.3)
+    if kind == "er-directed":
+        return erdos_renyi(20, p=0.3, seed=5, directed=True)
+    if kind == "grid":
+        return grid2d(5, 5, seed=2)
+    if kind == "path":
+        return path_graph(20, seed=1)
+    if kind == "ring":
+        return ring_graph(17, seed=4)
+    if kind == "star":
+        return star_of_paths(4, 5, seed=6)
+    if kind == "broom":
+        return broom(8, 10, seed=8)
+    if kind == "layered":
+        return layered_digraph(6, 4, seed=1)
+    raise KeyError(kind)
+
+
+GRAPH_KINDS = [
+    "er-sparse",
+    "er-dense",
+    "er-zero",
+    "er-directed",
+    "grid",
+    "path",
+    "ring",
+    "star",
+    "broom",
+    "layered",
+]
+
+_graph_cache: Dict[str, object] = {}
+_ref_cache: Dict[str, object] = {}
+_coll_cache: Dict[Tuple[str, int, str], object] = {}
+
+
+@pytest.fixture(params=GRAPH_KINDS)
+def any_graph(request):
+    kind = request.param
+    if kind not in _graph_cache:
+        _graph_cache[kind] = make_graph(kind)
+    return _graph_cache[kind]
+
+
+@pytest.fixture
+def er_graph():
+    if "er-sparse" not in _graph_cache:
+        _graph_cache["er-sparse"] = make_graph("er-sparse")
+    return _graph_cache["er-sparse"]
+
+
+def graph_of(kind: str):
+    if kind not in _graph_cache:
+        _graph_cache[kind] = make_graph(kind)
+    return _graph_cache[kind]
+
+
+def reference_of(kind: str):
+    if kind not in _ref_cache:
+        _ref_cache[kind] = all_pairs_shortest_paths(graph_of(kind))
+    return _ref_cache[kind]
+
+
+def collection_of(kind: str, h: int, orientation: str = "out"):
+    """Cached CSSSP collection (read-only — copy before mutating)."""
+    key = (kind, h, orientation)
+    if key not in _coll_cache:
+        g = graph_of(kind)
+        net = CongestNetwork(g)
+        sources = range(g.n)
+        coll, _ = build_csssp(net, g, sources, h, orientation=orientation)
+        _coll_cache[key] = coll
+    return _coll_cache[key]
+
+
+@pytest.fixture
+def network(any_graph):
+    return CongestNetwork(any_graph)

@@ -1,0 +1,116 @@
+"""Analysis helpers: exponent fits, rendering, Table 1 machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TABLE1_ROWS,
+    fit_exponent,
+    normalized_series,
+    render_series,
+    render_table,
+    table1_measured,
+)
+from repro.graphs import erdos_renyi
+
+
+def test_fit_exponent_recovers_power_law():
+    ns = [10, 20, 40, 80, 160]
+    for alpha, c in [(1.0, 3.0), (1.5, 0.5), (2.0, 7.0)]:
+        rounds = [c * n**alpha for n in ns]
+        fit = fit_exponent(ns, rounds)
+        assert fit.alpha == pytest.approx(alpha, abs=1e-9)
+        assert fit.c == pytest.approx(c, rel=1e-9)
+        assert fit.r2 == pytest.approx(1.0)
+        assert fit.predict(320) == pytest.approx(c * 320**alpha, rel=1e-9)
+
+
+def test_fit_exponent_with_noise_keeps_r2_sane():
+    rng = np.random.default_rng(0)
+    ns = [16, 32, 64, 128]
+    rounds = [5 * n**1.3 * float(rng.uniform(0.9, 1.1)) for n in ns]
+    fit = fit_exponent(ns, rounds)
+    assert 1.1 < fit.alpha < 1.5
+    assert fit.r2 > 0.95
+
+
+def test_fit_exponent_needs_two_points():
+    with pytest.raises(ValueError):
+        fit_exponent([10], [100])
+
+
+def test_normalized_series_flat_iff_exact():
+    ns = [10, 20, 40]
+    rounds = [2 * n**1.5 for n in ns]
+    norm = normalized_series(ns, rounds, 1.5)
+    assert norm == pytest.approx([2.0, 2.0, 2.0])
+    steeper = normalized_series(ns, rounds, 1.0)
+    assert steeper[0] < steeper[-1]
+
+
+def test_render_table_alignment_and_content():
+    text = render_table(
+        ["algo", "rounds"], [["det", 1234], ["rand", 5.5]], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "algo" in lines[1] and "rounds" in lines[1]
+    assert "1234" in text and "5.5" in text
+
+
+def test_render_series_format():
+    out = render_series("rounds", [8, 16], [100.0, 250.0], note="alpha=1.3")
+    assert out.startswith("rounds:")
+    assert "(8, 100)" in out and "alpha=1.3" in out
+
+
+def test_table1_rows_cover_the_paper():
+    keys = {r.key for r in TABLE1_ROWS}
+    assert {"det-n43", "det-n32", "rand-n43", "huang-n54", "elkin-n53",
+            "bn-n"} <= keys
+    ours = next(r for r in TABLE1_ROWS if r.key == "det-n43")
+    assert ours.kind == "Deterministic"
+    assert ours.claimed_alpha == pytest.approx(4 / 3)
+    # Quoted-only rows have no runner.
+    assert all(
+        r.run is None for r in TABLE1_ROWS if r.key in ("huang-n54", "bn-n")
+    )
+
+
+def test_table1_measured_runs_and_verifies():
+    graphs = [erdos_renyi(10, p=0.3, seed=1), erdos_renyi(14, p=0.25, seed=2)]
+    rows = [r for r in TABLE1_ROWS if r.key in ("naive-bf", "det-n43")]
+    data = table1_measured(graphs, rows=rows)
+    assert set(data) == {"naive-bf", "det-n43"}
+    for key, series in data.items():
+        assert [n for (n, _r, _res) in series] == [10, 14]
+        assert all(r > 0 for (_n, r, _res) in series)
+
+
+def test_crossover_measured_and_extrapolated():
+    from repro.analysis import crossover
+
+    ns = [10, 20, 40, 80]
+    flat = [100.0 * n for n in ns]        # alpha = 1
+    steep = [10.0 * n**1.5 for n in ns]   # alpha = 1.5, crosses at n = 100
+    measured, extrapolated = crossover(ns, flat, steep)
+    assert measured is None  # flat never wins inside the sweep
+    assert extrapolated == pytest.approx(100.0, rel=1e-6)
+
+    # When flat starts winning mid-sweep the measured point is reported.
+    steep2 = [6.58 * n**1.8 for n in ns]  # crosses flat near n = 30
+    measured, extrapolated = crossover(ns, flat, steep2)
+    assert measured == 40.0
+    assert extrapolated == pytest.approx(30.0, rel=0.05)
+
+
+def test_crossover_no_future_cross():
+    from repro.analysis import crossover
+
+    ns = [10, 20, 40]
+    fast = [n**2.0 for n in ns]
+    slow = [0.5 * n for n in ns]
+    measured, extrapolated = crossover(ns, fast, slow)
+    assert measured is None and extrapolated is None

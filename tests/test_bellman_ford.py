@@ -1,0 +1,155 @@
+"""Distributed Bellman-Ford vs the centralized references."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congest import CongestNetwork
+from repro.graphs import erdos_renyi, path_graph
+from repro.graphs.reference import (
+    all_pairs_shortest_paths,
+    h_hop_distances,
+    h_hop_labels,
+    single_source_shortest_paths,
+)
+from repro.graphs.spec import INF_COST, ZERO_COST
+from repro.primitives import bellman_ford, notify_children
+
+from conftest import GRAPH_KINDS, graph_of, reference_of
+
+
+@pytest.mark.parametrize("kind", GRAPH_KINDS)
+def test_full_sssp_exact(kind):
+    g = graph_of(kind)
+    net = CongestNetwork(g)
+    ref = reference_of(kind)
+    for s in (0, g.n // 2, g.n - 1):
+        res = bellman_ford(net, g, s)
+        for v in range(g.n):
+            assert res.dist[v] == pytest.approx(ref[s, v]) or (
+                math.isinf(res.dist[v]) and math.isinf(ref[s, v])
+            )
+
+
+@pytest.mark.parametrize("kind", ["er-sparse", "er-directed", "path", "er-zero"])
+@pytest.mark.parametrize("h", [1, 2, 4])
+def test_h_hop_sssp_exact(kind, h):
+    g = graph_of(kind)
+    net = CongestNetwork(g)
+    s = 1
+    res = bellman_ford(net, g, s, h=h)
+    mat = h_hop_distances(g, h, [s])
+    for v in range(g.n):
+        assert res.dist[v] == pytest.approx(mat[0, v]) or (
+            math.isinf(res.dist[v]) and math.isinf(mat[0, v])
+        )
+
+
+@pytest.mark.parametrize("kind", ["er-sparse", "er-directed", "layered"])
+def test_in_sssp_exact(kind):
+    g = graph_of(kind)
+    net = CongestNetwork(g)
+    for s in (0, g.n - 1):
+        res = bellman_ford(net, g, s, reverse=True)
+        dist, _ = single_source_shortest_paths(g, s, reverse=True)
+        for v in range(g.n):
+            assert res.dist[v] == pytest.approx(dist[v]) or (
+                math.isinf(res.dist[v]) and math.isinf(dist[v])
+            )
+
+
+def test_labels_match_reference_labels_exactly():
+    g = graph_of("er-sparse")
+    net = CongestNetwork(g)
+    res = bellman_ford(net, g, 2, h=4)
+    ref = h_hop_labels(g, 2, 4)
+    assert res.label == ref  # identical lexicographic triples, bit for bit
+
+
+def test_round_bound_h_plus_one():
+    g = path_graph(30, seed=0)
+    net = CongestNetwork(g)
+    for h in (1, 5, 29):
+        res = bellman_ford(net, g, 0, h=h)
+        assert res.rounds.rounds <= h + 1
+
+
+def test_messages_bounded_by_edge_rounds():
+    g = graph_of("er-dense")
+    net = CongestNetwork(g)
+    res = bellman_ford(net, g, 0, h=5)
+    # At most one label per directed relax edge per round.
+    assert res.rounds.messages <= 2 * g.m * (res.rounds.rounds)
+
+
+def test_hops_recorded():
+    g = path_graph(8, seed=2)
+    net = CongestNetwork(g)
+    res = bellman_ford(net, g, 0)
+    assert res.hops == list(range(8))
+    assert res.parent[0] == -1
+    for v in range(1, 8):
+        assert res.parent[v] == v - 1
+
+
+def test_multi_init_extension_semantics():
+    # Path 0-1-2-3-4; init node 2 with value 10, budget h=1: reaches 1 and 3.
+    g = path_graph(5, seed=3, wrange=(1.0, 1.0), integer=True)
+    net = CongestNetwork(g)
+    res = bellman_ford(net, g, 0, h=1, inits={2: (10.0, 0, 0)})
+    assert res.dist[2] == 10.0
+    assert res.dist[1] == pytest.approx(10.0 + g.edges[1][2])
+    assert res.dist[3] == pytest.approx(10.0 + g.edges[2][2])
+    assert math.isinf(res.dist[0]) and math.isinf(res.dist[4])
+
+
+def test_multi_init_takes_min_over_sources():
+    g = path_graph(4, seed=1, wrange=(1.0, 1.0), integer=True)
+    net = CongestNetwork(g)
+    res = bellman_ford(
+        net, g, 0, h=3, inits={0: ZERO_COST, 3: (0.5, 0, 0)}
+    )
+    # Node 2: from 0 costs 2 edges, from 3 costs 0.5 + 1 edge.
+    assert res.dist[2] == pytest.approx(min(2.0, 1.5))
+
+
+def test_unreachable_directed():
+    from repro.graphs.spec import Graph
+
+    g = Graph(3, [(0, 1, 1.0)], directed=True)  # node 2 isolated (but the
+    # communication graph must be connected for CONGEST; add a dead edge)
+    g2 = Graph(3, [(0, 1, 1.0), (2, 1, 1.0)], directed=True)
+    net = CongestNetwork(g2)
+    res = bellman_ford(net, g2, 0)
+    assert math.isinf(res.dist[2])  # 2 -> 1 edge points the wrong way
+    assert not res.reaches(2)
+
+
+def test_notify_children_builds_children_lists():
+    g = path_graph(6, seed=0)
+    net = CongestNetwork(g)
+    res = bellman_ford(net, g, 0)
+    children, stats = notify_children(net, res.parent)
+    assert children[0] == [1]
+    assert children[4] == [5]
+    assert children[5] == []
+    assert stats.rounds == 1
+
+
+@given(n=st.integers(4, 22), seed=st.integers(0, 500), h=st.integers(1, 6))
+@settings(max_examples=20, deadline=None)
+def test_h_hop_property(n, seed, h):
+    g = erdos_renyi(n, p=0.25, seed=seed)
+    net = CongestNetwork(g)
+    res = bellman_ford(net, g, 0, h=h)
+    mat = h_hop_distances(g, h, [0])
+    for v in range(n):
+        ok = res.dist[v] == pytest.approx(mat[0, v]) or (
+            math.isinf(res.dist[v]) and math.isinf(mat[0, v])
+        )
+        assert ok, (v, res.dist[v], mat[0, v])
+        if res.label[v] != INF_COST:
+            assert res.label[v][1] <= h

@@ -1,0 +1,66 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import ALGORITHMS, GRAPH_FAMILIES, build_parser, main, make_graph
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_apsp_command_runs_and_verifies(capsys):
+    rc = main(["apsp", "--n", "16", "--algorithm", "naive-bf"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "verified exact" in out
+    assert "TOTAL" in out  # ledger rendered
+
+
+def test_apsp_paper_algorithm(capsys):
+    rc = main(["apsp", "--n", "16", "--algorithm", "det-n43", "--family",
+               "grid"])
+    out = capsys.readouterr().out
+    assert rc == 0 and "det-n43" in out
+
+
+def test_table1_command(capsys):
+    rc = main(["table1", "--sizes", "10", "14", "--no-verify"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "det-n43" in out and "quoted bound" in out
+    assert "fitted alpha" in out
+
+
+def test_blocker_command(capsys):
+    rc = main(["blocker", "--n", "16", "--h", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Algorithm 2'" in out and "greedy" in out
+
+
+def test_step6_command(capsys):
+    rc = main(["step6", "--n", "16"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "pipelined Step 6" in out and "broadcast Step 6" in out
+
+
+@pytest.mark.parametrize("family", GRAPH_FAMILIES)
+def test_every_family_constructs(family):
+    g = make_graph(family, 16, seed=2)
+    assert g.n >= 4
+    assert g.is_connected()
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(SystemExit):
+        make_graph("torus", 16, 0)
+
+
+def test_algorithm_registry_complete():
+    assert set(ALGORITHMS) == {"det-n43", "det-n32", "rand-n43", "det-n53",
+                               "naive-bf"}

@@ -1,0 +1,236 @@
+"""Engine semantics: synchrony, bandwidth, locality, round accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import CongestNetwork, NodeProgram, RoundStats
+from repro.congest.metrics import PhaseLog
+from repro.congest.network import BandwidthExceeded, HardCapExceeded, NotANeighbor
+from repro.graphs import path_graph, ring_graph
+
+
+class Echo(NodeProgram):
+    """Node 0 pings right; each node forwards once; records receive round."""
+
+    def __init__(self, node: int, n: int) -> None:
+        super().__init__(node)
+        self.n = n
+        self.received_at = -1
+
+    def on_round(self, ctx):
+        if ctx.node == 0 and ctx.round == 0:
+            ctx.send(1, "ping", (0,))
+        for msg in ctx.inbox:
+            if msg.kind == "ping" and self.received_at < 0:
+                self.received_at = ctx.round
+                if ctx.node + 1 < self.n:
+                    ctx.send(ctx.node + 1, "ping", (ctx.node,))
+        self.active = False
+
+
+def test_synchrony_one_hop_per_round():
+    g = path_graph(6)
+    net = CongestNetwork(g)
+    programs = [Echo(v, g.n) for v in range(g.n)]
+    stats = net.run(programs)
+    # A message sent in round r arrives in round r+1: node v hears in round v.
+    for v in range(1, g.n):
+        assert programs[v].received_at == v
+    assert stats.rounds == g.n - 1  # last send happens in round n-2
+    assert stats.messages == g.n - 1
+
+
+class Flood(NodeProgram):
+    def on_round(self, ctx):
+        if ctx.round == 0 and ctx.node == 0:
+            for u in ctx.neighbors:
+                ctx.send(u, "a")
+                ctx.send(u, "b")  # second message on the same edge
+        self.active = False
+
+
+def test_bandwidth_enforced():
+    g = path_graph(3)
+    net = CongestNetwork(g, bandwidth=1)
+    with pytest.raises(BandwidthExceeded):
+        net.run([Flood(v) for v in range(g.n)])
+
+
+def test_bandwidth_two_allows_two_messages():
+    g = path_graph(3)
+    net = CongestNetwork(g, bandwidth=2)
+    stats = net.run([Flood(v) for v in range(g.n)])
+    assert stats.messages == 2
+
+
+class Teleport(NodeProgram):
+    def on_round(self, ctx):
+        if ctx.node == 0 and ctx.round == 0:
+            ctx.send(2, "x")  # nodes 0 and 2 are not adjacent on a path
+        self.active = False
+
+
+def test_locality_enforced():
+    g = path_graph(3)
+    net = CongestNetwork(g)
+    with pytest.raises(NotANeighbor):
+        net.run([Teleport(v) for v in range(g.n)])
+
+
+class FatMessage(NodeProgram):
+    def on_round(self, ctx):
+        if ctx.node == 0 and ctx.round == 0:
+            ctx.send(1, "fat", tuple(range(100)))
+        self.active = False
+
+
+def test_word_limit_enforced():
+    g = path_graph(2)
+    net = CongestNetwork(g, word_limit=8)
+    with pytest.raises(BandwidthExceeded):
+        net.run([FatMessage(v) for v in range(g.n)])
+
+
+class Spinner(NodeProgram):
+    """Keeps itself active and keeps sending — never quiesces."""
+
+    def on_round(self, ctx):
+        ctx.send(ctx.neighbors[0], "spin")
+
+
+def test_hard_cap_guards_nontermination():
+    g = path_graph(2)
+    net = CongestNetwork(g)
+    with pytest.raises(HardCapExceeded):
+        net.run([Spinner(v) for v in range(g.n)], hard_cap=50)
+
+
+class Idle(NodeProgram):
+    def on_round(self, ctx):
+        self.active = False
+
+
+def test_idle_phase_costs_zero_rounds():
+    g = ring_graph(5)
+    net = CongestNetwork(g)
+    stats = net.run([Idle(v) for v in range(g.n)])
+    assert stats.rounds == 0
+    assert stats.messages == 0
+
+
+class LateSender(NodeProgram):
+    """Sends only in round 5; earlier idle rounds must still be charged."""
+
+    def on_round(self, ctx):
+        if ctx.node == 0 and ctx.round == 5:
+            ctx.send(ctx.neighbors[0], "late")
+            self.active = False
+        elif ctx.node != 0:
+            self.active = False
+
+
+def test_idle_rounds_before_last_send_are_charged():
+    g = path_graph(2)
+    net = CongestNetwork(g)
+    stats = net.run([LateSender(v) for v in range(g.n)])
+    assert stats.rounds == 6  # rounds 0..5
+
+
+def test_per_node_congestion_accounting():
+    g = path_graph(6)
+    net = CongestNetwork(g)
+    programs = [Echo(v, g.n) for v in range(g.n)]
+    stats = net.run(programs)
+    assert stats.per_node_sent[0] == 1
+    assert stats.max_node_congestion == 1
+    assert sum(stats.per_node_sent.values()) == stats.messages
+
+
+def test_program_count_validated():
+    g = path_graph(3)
+    net = CongestNetwork(g)
+    with pytest.raises(ValueError):
+        net.run([Idle(0)])
+
+
+def test_network_total_accumulates():
+    g = path_graph(4)
+    net = CongestNetwork(g)
+    net.run([Echo(v, g.n) for v in range(g.n)])
+    net.run([Echo(v, g.n) for v in range(g.n)])
+    assert net.total.messages == 2 * (g.n - 1)
+
+
+# ---------------------------------------------------------------------------
+# RoundStats / PhaseLog bookkeeping
+
+
+def test_roundstats_merge_and_add():
+    a = RoundStats(rounds=3, messages=10, per_node_sent={0: 4, 1: 6})
+    b = RoundStats(rounds=2, messages=5, per_node_sent={1: 2, 2: 3})
+    c = a + b
+    assert (c.rounds, c.messages) == (5, 15)
+    assert c.per_node_sent == {0: 4, 1: 8, 2: 3}
+    assert (a.rounds, a.messages) == (3, 10)  # __add__ does not mutate
+    a.merge(b)
+    assert a.rounds == 5 and a.per_node_sent[1] == 8
+
+
+def test_roundstats_sequential():
+    parts = [RoundStats(rounds=i, messages=i) for i in range(5)]
+    total = RoundStats.sequential(parts, label="sum")
+    assert total.rounds == 10 and total.messages == 10
+
+
+def test_phaselog_totals_and_labels():
+    log = PhaseLog()
+    log.add("a", RoundStats(rounds=1, messages=2))
+    log.add("b", RoundStats(rounds=3, messages=4))
+    log.add("a", RoundStats(rounds=5, messages=6))
+    assert len(log) == 3
+    assert log.total().rounds == 9
+    assert log.rounds_by_label() == {"a": 6, "b": 3}
+    rendered = log.render()
+    assert "TOTAL" in rendered and "a" in rendered
+
+
+def test_max_node_congestion_empty():
+    assert RoundStats().max_node_congestion == 0
+
+
+# ---------------------------------------------------------------------------
+# message word accounting and Ctx guards
+
+
+def test_message_word_counting():
+    from repro.congest import Message
+
+    assert Message(0, "x", ()).words() == 1  # empty payload: one word
+    assert Message(0, "x", (1, 2.5, 3)).words() == 3
+    assert Message(0, "x", ((1, 2), 3)).words() == 3  # nested counted flat
+    assert Message(0, "x", (None,)).words() == 1
+
+
+def test_send_outside_engine_round_raises():
+    from repro.congest.node import Ctx
+
+    ctx = Ctx()
+    with pytest.raises(RuntimeError):
+        ctx.send(0, "x")
+
+
+def test_step6_payload_is_five_words():
+    """The round-robin record (c, x, d, k, tb) must fit the default
+    word limit with room to spare."""
+    from repro.congest import Message
+
+    msg = Message(0, "rr", (3, 7, 45.25, 8, 866463714599298))
+    assert msg.words() == 5 <= 8
+
+
+def test_bf_payload_is_four_words():
+    from repro.congest import Message
+
+    msg = Message(0, "bf", (45.25, 8, 866463714599298, 2))
+    assert msg.words() == 4
