@@ -12,46 +12,43 @@ fixed:
 * **hop budget** ``h``: ``n^{1/4}`` / ``n^{1/3}`` / ``n^{1/2}`` with the
   paper's components — the balance point behind Theorem 1.1 (Steps 1/2/7
   grow with ``h``; ``|Q|`` and Step 6 shrink with it).
+
+Each ablation is one ``3phase`` scenario matrix over the driver axes, run
+through :mod:`repro.experiments`; the per-scenario seed derives from the
+instance only, so paired arms see identical random draws.
 """
 
 from __future__ import annotations
 
 from repro.analysis import render_table
-from repro.congest import CongestNetwork
-from repro.graphs import erdos_renyi
-from repro.apsp import three_phase_apsp
-from repro.apsp.driver import default_h
+from repro.experiments import ScenarioMatrix, SweepExecutor
 
-from conftest import emit, once
+from _common import emit, once
 
 NS = (24, 48, 96)
 
 
-def graphs():
-    return [erdos_renyi(n, p=max(0.1, 4.0 / n), seed=29) for n in NS]
+def run_matrix(**axes):
+    matrix = ScenarioMatrix(families=("er",), sizes=NS, seeds=(29,),
+                            algorithms=("3phase",), **axes)
+    records = SweepExecutor(cache_dir=None, workers=1).run(matrix.expand())
+    by_n = {}
+    for rec in records:
+        by_n.setdefault(rec["spec"]["n"], []).append(rec)
+    return by_n
+
+
+def step6_rounds(rec):
+    return sum(v for k, v in rec["step_rounds"].items() if k.startswith("step6"))
 
 
 def test_ablation_delivery(benchmark):
-    def run():
-        rows = []
-        for g in graphs():
-            net = CongestNetwork(g)
-            h = default_h(g.n)
-            per = [g.n]
-            for delivery in ("pipelined", "broadcast"):
-                res = three_phase_apsp(
-                    net, g, h=h, blocker="greedy", delivery=delivery
-                )
-                res.verify(g)
-                step6 = sum(
-                    v for k, v in res.step_rounds().items()
-                    if k.startswith("step6")
-                )
-                per.extend([res.rounds, step6])
-            rows.append(per)
-        return rows
-
-    rows = once(benchmark, run)
+    by_n = once(benchmark, lambda: run_matrix(
+        blockers=("greedy",), deliveries=("pipelined", "broadcast")))
+    rows = [
+        [n] + [x for rec in recs for x in (rec["rounds"], step6_rounds(rec))]
+        for n, recs in sorted(by_n.items())
+    ]
     table = render_table(
         ["n", "total (pipelined)", "step6 (pipelined)",
          "total (broadcast)", "step6 (broadcast)"],
@@ -62,23 +59,16 @@ def test_ablation_delivery(benchmark):
 
 
 def test_ablation_blocker(benchmark):
-    def run():
-        rows = []
-        for g in graphs():
-            net = CongestNetwork(g)
-            h = default_h(g.n)
-            per = [g.n]
-            for blocker in ("derandomized", "greedy", "sampling"):
-                res = three_phase_apsp(
-                    net, g, h=h, blocker=blocker, delivery="pipelined"
-                )
-                res.verify(g)
-                step2 = res.step_rounds().get("step2-blocker", 0)
-                per.extend([res.rounds, step2, res.meta["q"]])
-            rows.append(per)
-        return rows
-
-    rows = once(benchmark, run)
+    by_n = once(benchmark, lambda: run_matrix(
+        blockers=("derandomized", "greedy", "sampling"),
+        deliveries=("pipelined",)))
+    rows = [
+        [n] + [x for rec in recs
+               for x in (rec["rounds"],
+                         rec["step_rounds"].get("step2-blocker", 0),
+                         rec["meta"]["q"])]
+        for n, recs in sorted(by_n.items())
+    ]
     table = render_table(
         ["n", "total (Alg 2')", "step2", "|Q|",
          "total (greedy)", "step2", "|Q|",
@@ -90,23 +80,14 @@ def test_ablation_blocker(benchmark):
 
 
 def test_ablation_hop_budget(benchmark):
-    def run():
-        rows = []
-        for g in graphs():
-            net = CongestNetwork(g)
-            per = [g.n]
-            for exp, label in ((0.25, "n^{1/4}"), (1 / 3, "n^{1/3}"),
-                               (0.5, "n^{1/2}")):
-                h = default_h(g.n, exp)
-                res = three_phase_apsp(
-                    net, g, h=h, blocker="greedy", delivery="pipelined"
-                )
-                res.verify(g)
-                per.extend([h, res.rounds, res.meta["q"]])
-            rows.append(per)
-        return rows
-
-    rows = once(benchmark, run)
+    by_n = once(benchmark, lambda: run_matrix(
+        blockers=("greedy",), deliveries=("pipelined",),
+        h_exponents=(0.25, 1 / 3, 0.5)))
+    rows = [
+        [n] + [x for rec in recs
+               for x in (rec["meta"]["h"], rec["rounds"], rec["meta"]["q"])]
+        for n, recs in sorted(by_n.items())
+    ]
     table = render_table(
         ["n", "h=n^{1/4}", "rounds", "|Q|", "h=n^{1/3}", "rounds", "|Q|",
          "h=n^{1/2}", "rounds", "|Q|"],

@@ -1,0 +1,161 @@
+"""E1 — CONGEST engine fast path vs the seed engine (64-node BFS phase).
+
+The engine rewrite batches per-round delivery into swapped per-node inbox
+lists and precomputes dense directed-edge indices; ``strict=False``
+additionally skips the locality / bandwidth / word-size validation.  This
+bench keeps a frozen copy of the seed engine's run loop (dict-based
+outboxes, per-message ``setdefault`` churn) and times all three on the
+same BFS-tree phase, asserting identical round/message accounting and the
+claimed speedup: the batched fast path must be at least 1.5x faster than
+the seed loop.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.analysis import render_table
+from repro.congest.message import Message
+from repro.congest.metrics import RoundStats
+from repro.congest.network import CongestNetwork
+from repro.congest.node import Ctx
+from repro.graphs import erdos_renyi
+from repro.primitives.bfs import build_bfs_tree
+
+from _common import emit, once
+
+N = 64
+REPS = 25
+
+
+class SeedCongestNetwork(CongestNetwork):
+    """The seed engine's run loop, frozen for comparison."""
+
+    def run(self, programs, max_rounds=None, label="", hard_cap=5_000_000):
+        if len(programs) != self.n:
+            raise ValueError(f"need {self.n} programs, got {len(programs)}")
+        n = self.n
+        adjsets = [frozenset(a) for a in self._adj]
+        strict = self.strict
+        bandwidth = self.bandwidth
+        word_limit = self.word_limit
+
+        pending: Dict[int, List[Message]] = {}
+        per_node_sent: Dict[int, int] = {}
+        messages_total = 0
+        last_send_tick = -1
+        tick = 0
+        edge_load: Dict[tuple, int] = {}
+        outbox: Dict[int, List[Message]] = {}
+
+        def send(src, dst, kind, payload):
+            nonlocal messages_total
+            if strict:
+                if dst not in adjsets[src]:
+                    raise RuntimeError(f"node {src} -> {dst}: not an edge")
+                key = (src, dst)
+                load = edge_load.get(key, 0) + 1
+                if load > bandwidth:
+                    raise RuntimeError("bandwidth")
+                edge_load[key] = load
+            msg = Message(src, kind, payload)
+            if strict and msg.words() > word_limit:
+                raise RuntimeError("words")
+            outbox.setdefault(dst, []).append(msg)
+            per_node_sent[src] = per_node_sent.get(src, 0) + 1
+
+        ctx = Ctx()
+        ctx._send = lambda src, dst, kind, payload: send(src, dst, kind, payload)
+        empty: List[Message] = []
+        active = {v for v in range(n) if programs[v].active}
+
+        while True:
+            if max_rounds is not None and tick > max_rounds:
+                break
+            if tick > hard_cap:
+                raise RuntimeError("hard cap")
+            inboxes = pending
+            pending = {}
+            wake = set(inboxes)
+            wake.update(active)
+            if not wake:
+                break
+            edge_load.clear()
+            sent_this_tick = False
+            for v in sorted(wake):
+                prog = programs[v]
+                ctx.node = v
+                ctx.round = tick
+                ctx.inbox = inboxes.get(v, empty)
+                ctx.neighbors = self._adj[v]
+                prog.on_round(ctx)
+                if prog.active:
+                    active.add(v)
+                else:
+                    active.discard(v)
+            if outbox:
+                sent_this_tick = True
+                for dst, msgs in outbox.items():
+                    pending[dst] = msgs
+                    messages_total += len(msgs)
+                outbox = {}
+            if sent_this_tick:
+                last_send_tick = tick
+            tick += 1
+
+        stats = RoundStats(
+            rounds=last_send_tick + 1,
+            messages=messages_total,
+            per_node_sent=per_node_sent,
+            label=label,
+        )
+        self.total.merge(stats)
+        return stats
+
+
+def time_bfs_phase(net, reps=REPS):
+    """Best-of-``reps`` wall time of one BFS-tree phase on ``net``."""
+    best = float("inf")
+    stats = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        _tree, stats = build_bfs_tree(net)
+        best = min(best, time.perf_counter() - t0)
+    return best, stats
+
+
+def test_engine_fastpath_speedup(benchmark):
+    g = erdos_renyi(N, p=max(0.1, 4.0 / N), seed=7)
+
+    def run():
+        t_seed, s_seed = time_bfs_phase(SeedCongestNetwork(g))
+        t_strict, s_strict = time_bfs_phase(CongestNetwork(g))
+        t_fast, s_fast = time_bfs_phase(CongestNetwork(g, strict=False))
+        return (t_seed, s_seed), (t_strict, s_strict), (t_fast, s_fast)
+
+    (t_seed, s_seed), (t_strict, s_strict), (t_fast, s_fast) = once(benchmark, run)
+
+    # Semantics first: identical round/message accounting across engines.
+    for s in (s_strict, s_fast):
+        assert (s.rounds, s.messages) == (s_seed.rounds, s_seed.messages)
+        assert s.per_node_sent == s_seed.per_node_sent
+
+    rows = [
+        ["seed (dict churn, strict)", f"{t_seed * 1e3:.3f}", "1.00x"],
+        ["batched, strict", f"{t_strict * 1e3:.3f}", f"{t_seed / t_strict:.2f}x"],
+        ["batched, fast (strict=False)", f"{t_fast * 1e3:.3f}",
+         f"{t_seed / t_fast:.2f}x"],
+    ]
+    table = render_table(
+        ["engine", f"BFS phase on n={N} (ms, best of {REPS})", "speedup"],
+        rows,
+        title=(
+            f"E1: engine fast path ({s_seed.rounds} rounds, "
+            f"{s_seed.messages} messages per phase)"
+        ),
+    )
+    emit("engine_fastpath", table)
+    assert t_seed / t_fast >= 1.5, (
+        f"fast path only {t_seed / t_fast:.2f}x faster than the seed engine"
+    )

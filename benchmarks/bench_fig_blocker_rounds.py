@@ -29,7 +29,7 @@ from repro.blocker import (
 )
 from repro.apsp.driver import default_h
 
-from conftest import emit, once
+from _common import emit, once
 
 SWEEP_NS = (16, 24, 32, 48, 64, 96)
 

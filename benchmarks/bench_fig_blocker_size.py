@@ -17,7 +17,7 @@ from repro.graphs import erdos_renyi, grid2d
 from repro.blocker import deterministic_blocker_set
 from repro.blocker.verify import greedy_reference_size
 
-from conftest import emit, once
+from _common import emit, once
 
 
 def test_blocker_size_sweep(benchmark):

@@ -19,7 +19,7 @@ from repro.csssp import build_csssp
 from repro.graphs import star_of_paths
 from repro.pipeline.bottleneck import compute_bottleneck, message_counts
 
-from conftest import emit, once
+from _common import emit, once
 
 
 def test_bottleneck_invariants_sweep(benchmark):

@@ -12,7 +12,7 @@ from repro.congest import CongestNetwork
 from repro.graphs import erdos_renyi, path_graph, ring_graph
 from repro.primitives import broadcast_from_root, build_bfs_tree, gather_and_broadcast
 
-from conftest import emit, once
+from _common import emit, once
 
 
 def test_broadcast_primitives(benchmark):

@@ -20,7 +20,7 @@ from repro.graphs import erdos_renyi
 from repro.blocker import BlockerParams, deterministic_blocker_set, is_blocker_set
 from repro.blocker import randomized_blocker_set
 
-from conftest import emit, once
+from _common import emit, once
 
 
 def test_goodset_machinery(benchmark):

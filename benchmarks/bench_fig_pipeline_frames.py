@@ -19,7 +19,7 @@ from repro.csssp import build_csssp
 from repro.graphs import broom, star_of_paths
 from repro.pipeline.short_range import round_robin_pipeline
 
-from conftest import emit, once
+from _common import emit, once
 
 
 def test_pipeline_frames(benchmark):

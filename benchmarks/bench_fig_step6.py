@@ -19,7 +19,7 @@ from repro.blocker import deterministic_blocker_set
 from repro.pipeline import broadcast_delivery, reversed_qsink
 from repro.apsp.driver import default_h
 
-from conftest import emit, once
+from _common import emit, once
 
 SWEEP_NS = (16, 24, 32, 48, 64, 96)
 

@@ -9,30 +9,37 @@ The paper's shape prediction: exponents order as
 
 with the two ``n^{4/3}`` families flattest after normalization.  Quoted
 rows of Table 1 we do not implement are appended as bounds-only lines.
+
+All runs go through the scenario-sweep subsystem
+(:mod:`repro.experiments`): the benches declare a matrix and read the
+result records instead of hand-rolling the loops.
 """
 
 from __future__ import annotations
 
 from repro.analysis import TABLE1_ROWS, fit_exponent, normalized_series, render_table
-from repro.analysis.tables import table1_measured
-from repro.graphs import erdos_renyi, grid2d
+from repro.experiments import ScenarioMatrix, SweepExecutor
 
-from conftest import emit, once
+from _common import emit, once
 
 SWEEP_NS = (16, 24, 32, 48, 64, 96)
+ALGOS = ("naive-bf", "det-n53", "det-n32", "rand-n43", "det-n43")
 
 
-def sweep_graphs():
-    return [erdos_renyi(n, p=max(0.1, 4.0 / n), seed=7) for n in SWEEP_NS]
+def run_matrix(matrix: ScenarioMatrix):
+    """Execute a matrix (no cache: benches measure, they don't memoize)."""
+    records = SweepExecutor(cache_dir=None, workers=1).run(matrix.expand())
+    by_algo = {}
+    for rec in records:
+        by_algo.setdefault(rec["spec"]["algorithm"], []).append(rec)
+    return by_algo
 
 
 def test_table1_er_sweep(benchmark):
-    graphs = sweep_graphs()
+    matrix = ScenarioMatrix(families=("er",), sizes=SWEEP_NS,
+                            algorithms=ALGOS, seeds=(7,))
 
-    def run():
-        return table1_measured(graphs)
-
-    data = once(benchmark, run)
+    data = once(benchmark, lambda: run_matrix(matrix))
     rows = []
     for spec in TABLE1_ROWS:
         if spec.run is None:
@@ -42,8 +49,8 @@ def test_table1_er_sweep(benchmark):
             )
             continue
         series = data[spec.key]
-        ns = [n for (n, _r, _res) in series]
-        rounds = [r for (_n, r, _res) in series]
+        ns = [rec["spec"]["n"] for rec in series]
+        rounds = [rec["rounds"] for rec in series]
         fit = fit_exponent(ns, rounds)
         norm = normalized_series(ns, rounds, spec.claimed_alpha)
         rows.append(
@@ -71,18 +78,16 @@ def test_table1_message_complexity(benchmark):
     algorithms with similar round budgets (the pipelined Step 6 moves far
     fewer messages than broadcast at equal rounds).
     """
-    graphs = [erdos_renyi(n, p=max(0.1, 4.0 / n), seed=7) for n in (24, 48)]
+    matrix = ScenarioMatrix(families=("er",), sizes=(24, 48),
+                            algorithms=ALGOS, seeds=(7,))
 
-    def run():
-        return table1_measured(graphs)
-
-    data = once(benchmark, run)
+    data = once(benchmark, lambda: run_matrix(matrix))
     rows = []
     for key, series in data.items():
         row = [key]
-        for (_n, _rounds, res) in series:
-            row.append(res.stats.messages)
-            row.append(res.stats.max_node_congestion)
+        for rec in series:
+            row.append(rec["messages"])
+            row.append(rec["max_node_congestion"])
         rows.append(row)
     table = render_table(
         ["algorithm", "messages n=24", "max congestion n=24",
@@ -95,17 +100,15 @@ def test_table1_message_complexity(benchmark):
 
 def test_table1_grid_spotcheck(benchmark):
     """Second topology: the ordering must not be an ER artifact."""
-    graphs = [grid2d(4, 6, seed=1), grid2d(6, 8, seed=1)]
+    matrix = ScenarioMatrix(families=("grid",), sizes=(24, 48),
+                            algorithms=ALGOS, seeds=(1,))
 
-    def run():
-        return table1_measured(graphs)
-
-    data = once(benchmark, run)
+    data = once(benchmark, lambda: run_matrix(matrix))
     rows = []
     for key, series in data.items():
-        rows.append([key] + [r for (_n, r, _res) in series])
+        rows.append([key] + [rec["rounds"] for rec in series])
     table = render_table(
-        ["algorithm", "rounds n=24 (4x6)", "rounds n=48 (6x8)"],
+        ["algorithm", "rounds n~24", "rounds n~48"],
         rows,
         title="Table 1 spot check on 2-D grids (verified exact)",
     )

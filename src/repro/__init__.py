@@ -17,15 +17,26 @@ Quickstart::
     print(result.rounds)      # CONGEST rounds charged
     print(result.log.render())  # per-step budget (Theorem 1.1)
 
+Scenario sweeps (many instances, many algorithms, many seeds, across
+worker processes with result caching) go through
+:mod:`repro.experiments`::
+
+    from repro.experiments import ScenarioMatrix, SweepExecutor
+
+    matrix = ScenarioMatrix(families=("er", "grid"), sizes=(16, 24, 32),
+                            algorithms=("det-n43", "naive-bf"), seeds=(1, 2))
+    records = SweepExecutor(cache_dir="results", workers=4).run(matrix.expand())
+
 Subpackages: :mod:`repro.congest` (simulator), :mod:`repro.graphs`
 (instances + references), :mod:`repro.primitives` (BFS / broadcast /
 convergecast / Bellman-Ford), :mod:`repro.csssp` (consistent hop-limited
 SSSP collections), :mod:`repro.blocker` (Section 3), :mod:`repro.pipeline`
 (Section 4 + Step 7), :mod:`repro.apsp` (end-to-end algorithms),
+:mod:`repro.experiments` (scenario-sweep subsystem),
 :mod:`repro.analysis` (exponent fits + Table 1).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
@@ -33,6 +44,7 @@ __all__ = [
     "blocker",
     "congest",
     "csssp",
+    "experiments",
     "graphs",
     "pipeline",
     "primitives",

@@ -10,7 +10,12 @@ renders the tables/series the benchmarks print.
 
 from repro.analysis.fitting import crossover, fit_exponent, normalized_series
 from repro.analysis.report import render_series, render_table
-from repro.analysis.tables import TABLE1_ROWS, table1_measured
+from repro.analysis.tables import (
+    TABLE1_ROWS,
+    sweep_rows,
+    sweep_table,
+    table1_measured,
+)
 
 __all__ = [
     "TABLE1_ROWS",
@@ -19,5 +24,7 @@ __all__ = [
     "normalized_series",
     "render_series",
     "render_table",
+    "sweep_rows",
+    "sweep_table",
     "table1_measured",
 ]

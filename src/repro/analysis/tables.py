@@ -58,6 +58,65 @@ TABLE1_ROWS: List[Table1Row] = [
 ]
 
 
+def sweep_rows(records: Sequence[dict]) -> List[List[object]]:
+    """Aggregate sweep records into Table-1-style report rows.
+
+    Records (see :mod:`repro.experiments.runner`) are grouped by
+    ``(algorithm, family, weight model)``; within a group, rounds are
+    averaged over seeds at each size and the growth exponent ``alpha`` is
+    fitted over the size series (needs >= 2 distinct sizes, else blank).
+    """
+    from repro.analysis.fitting import fit_exponent
+
+    groups: Dict[Tuple[str, str, str], Dict[int, List[dict]]] = {}
+    for rec in records:
+        spec = rec["spec"]
+        key = (rec["algorithm"], spec["family"], spec["weights"])
+        groups.setdefault(key, {}).setdefault(spec["n"], []).append(rec)
+
+    rows: List[List[object]] = []
+    for (algo, family, weights), by_n in sorted(groups.items()):
+        ns = sorted(by_n)
+        # Fit against the graphs' real sizes: several families (grid,
+        # star, layered) only approximate the requested n.
+        actual_ns = [
+            sum(r.get("actual_n", n) for r in by_n[n]) / len(by_n[n])
+            for n in ns
+        ]
+        mean_rounds = [
+            sum(r["rounds"] for r in by_n[n]) / len(by_n[n]) for n in ns
+        ]
+        mean_msgs = [
+            sum(r["messages"] for r in by_n[n]) / len(by_n[n]) for n in ns
+        ]
+        runs = sum(len(v) for v in by_n.values())
+        alpha = (
+            f"{fit_exponent(actual_ns, mean_rounds).alpha:.2f}"
+            if len(set(actual_ns)) > 1 else ""
+        )
+        rows.append([
+            algo, family, weights, runs,
+            " ".join(str(n) for n in ns),
+            " ".join(f"{r:.0f}" for r in mean_rounds),
+            alpha,
+            f"{max(mean_msgs):.0f}",
+        ])
+    return rows
+
+
+SWEEP_HEADER = [
+    "algorithm", "family", "weights", "runs", "sizes",
+    "mean rounds per size", "fitted alpha", "peak mean messages",
+]
+
+
+def sweep_table(records: Sequence[dict], title: str = "scenario sweep") -> str:
+    """Render aggregated sweep records with the standard report style."""
+    from repro.analysis.report import render_table
+
+    return render_table(SWEEP_HEADER, sweep_rows(records), title=title)
+
+
 def table1_measured(
     graphs: Sequence[Graph],
     rows: Optional[Sequence[Table1Row]] = None,

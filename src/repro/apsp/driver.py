@@ -21,9 +21,7 @@ driver with a different ``(h, blocker, delivery)`` triple:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Dict, List, Optional
 
 from repro.congest.metrics import PhaseLog
 from repro.congest.network import CongestNetwork
@@ -42,12 +40,17 @@ from repro.primitives.bfs import build_bfs_tree
 from repro.primitives.broadcast import gather_and_broadcast
 from repro.apsp.result import APSPResult
 
-#: Step-2 strategies (name -> construction function)
+#: Step-2 strategies (name -> construction function).  Each takes the
+#: shared ``BlockerParams`` so orchestrators (e.g. the scenario-sweep
+#: runner) can thread one deterministic per-scenario seed through every
+#: randomized component.
 BLOCKERS = {
     "derandomized": deterministic_blocker_set,
     "randomized": randomized_blocker_set,
     "greedy": lambda net, coll, params=None: greedy_blocker_set(net, coll),
-    "sampling": lambda net, coll, params=None: sampling_blocker_set(net, coll),
+    "sampling": lambda net, coll, params=None: sampling_blocker_set(
+        net, coll, seed=params.seed if params is not None else 0
+    ),
 }
 
 DELIVERIES = ("pipelined", "broadcast")

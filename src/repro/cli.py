@@ -1,88 +1,42 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four subcommands mirror the example scripts so users can reproduce any
+Five subcommands mirror the example scripts so users can reproduce any
 result without writing code:
 
 * ``apsp`` — run one APSP algorithm on a generated instance, verify it,
   print the per-step round ledger.
+* ``sweep`` — expand a scenario matrix (family x size x weights x
+  algorithm x seed) and run it through the parallel sweep executor with
+  JSON result caching (:mod:`repro.experiments`).
 * ``table1`` — regenerate Table 1 (measured) on a size sweep.
 * ``blocker`` — run the four blocker constructions on one instance.
 * ``step6`` — standalone reversed q-sink comparison (pipelined vs
   broadcast).
+
+The graph-family / algorithm registries live in
+:mod:`repro.experiments.registry`; this module is a thin argparse layer
+over them.
 """
 
 from __future__ import annotations
 
 import argparse
-import math
 import sys
 from typing import List, Optional
 
-from repro.analysis import fit_exponent, render_table
+from repro.analysis import fit_exponent, render_table, sweep_table
 from repro.analysis.tables import TABLE1_ROWS, table1_measured
 from repro.congest import CongestNetwork
 from repro.csssp import build_csssp
-from repro.graphs import (
-    barabasi_albert,
-    complete_graph,
-    erdos_renyi,
-    grid2d,
-    layered_digraph,
-    path_graph,
-    random_geometric,
-    ring_graph,
-    star_of_paths,
-    watts_strogatz,
+from repro.experiments import (
+    ALGORITHMS,
+    GRAPH_FAMILIES,
+    WEIGHT_MODELS,
+    ScenarioMatrix,
+    SweepExecutor,
+    make_graph,
 )
-from repro.apsp import (
-    baseline_n32_apsp,
-    deterministic_apsp,
-    five_thirds_apsp,
-    naive_bf_apsp,
-    randomized_apsp,
-)
-
-ALGORITHMS = {
-    "det-n43": deterministic_apsp,
-    "det-n32": baseline_n32_apsp,
-    "rand-n43": randomized_apsp,
-    "det-n53": five_thirds_apsp,
-    "naive-bf": naive_bf_apsp,
-}
-
-
-def make_graph(family: str, n: int, seed: int):
-    """Instantiate one of the generator families at roughly ``n`` nodes."""
-    if family == "er":
-        return erdos_renyi(n, p=max(0.1, 4.0 / n), seed=seed)
-    if family == "er-directed":
-        return erdos_renyi(n, p=max(0.12, 5.0 / n), seed=seed, directed=True)
-    if family == "grid":
-        side = max(2, round(math.sqrt(n)))
-        return grid2d(side, max(2, n // side), seed=seed)
-    if family == "ring":
-        return ring_graph(n, seed=seed)
-    if family == "path":
-        return path_graph(n, seed=seed)
-    if family == "complete":
-        return complete_graph(n, seed=seed)
-    if family == "ba":
-        return barabasi_albert(n, seed=seed)
-    if family == "star":
-        return star_of_paths(max(2, n // 6), 6, seed=seed)
-    if family == "layered":
-        return layered_digraph(max(2, n // 4), 4, seed=seed)
-    if family == "rgg":
-        return random_geometric(n, seed=seed)
-    if family == "ws":
-        return watts_strogatz(n, seed=seed)
-    raise SystemExit(f"unknown graph family {family!r}")
-
-
-GRAPH_FAMILIES = [
-    "er", "er-directed", "grid", "ring", "path", "complete", "ba", "star",
-    "layered", "rgg", "ws",
-]
+from repro.experiments.spec import THREE_PHASE
 
 
 def cmd_apsp(args) -> int:
@@ -98,6 +52,50 @@ def cmd_apsp(args) -> int:
     print(f"{result.algorithm} on {graph}: {result.rounds} rounds, "
           f"meta={result.meta}")
     print(result.log.render())
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    driver_flags = [flag for flag, value in (
+        ("--blockers", args.blockers),
+        ("--deliveries", args.deliveries),
+        ("--h-exponents", args.h_exponents),
+    ) if value]
+    if driver_flags and THREE_PHASE not in args.algorithms:
+        raise SystemExit(
+            f"repro sweep: {' / '.join(driver_flags)} only apply to the "
+            f"'{THREE_PHASE}' algorithm; add it to --algorithms"
+        )
+    matrix = ScenarioMatrix(
+        families=args.families,
+        sizes=args.sizes,
+        algorithms=args.algorithms,
+        seeds=args.seeds,
+        weights=args.weights,
+        h_exponents=args.h_exponents or (None,),
+        blockers=args.blockers or (None,),
+        deliveries=args.deliveries or (None,),
+        strict=not args.fast,
+    )
+    try:
+        specs = matrix.expand()
+    except ValueError as exc:
+        raise SystemExit(f"repro sweep: {exc}") from exc
+    executor = SweepExecutor(
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        verify=not args.no_verify,
+        force=args.force,
+    )
+    print(f"sweep: {len(specs)} scenarios, {executor.workers} worker(s), "
+          f"cache={args.cache_dir or 'off'}")
+
+    def progress(spec, was_cached):
+        print(f"  [{'cache' if was_cached else 'run'}] {spec.key} {spec.label}")
+
+    records = executor.run(specs, progress=progress)
+    print(f"done: {executor.executed} executed, {executor.cached} from cache")
+    print(sweep_table(records, title=f"scenario sweep ({len(records)} runs)"))
     return 0
 
 
@@ -190,6 +188,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--no-verify", action="store_true")
     p.set_defaults(func=cmd_apsp)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a scenario matrix in parallel with result caching",
+    )
+    p.add_argument("--families", nargs="+", choices=GRAPH_FAMILIES,
+                   default=["er"])
+    p.add_argument("--sizes", type=int, nargs="+", default=[16, 24])
+    p.add_argument("--algorithms", nargs="+",
+                   choices=sorted(ALGORITHMS) + [THREE_PHASE],
+                   default=["det-n43"])
+    p.add_argument("--seeds", type=int, nargs="+", default=[1])
+    p.add_argument("--weights", nargs="+", choices=sorted(WEIGHT_MODELS),
+                   default=["uniform"])
+    p.add_argument("--h-exponents", type=float, nargs="*",
+                   help="driver hop exponents (3phase scenarios only)")
+    p.add_argument("--blockers", nargs="*",
+                   help="blocker constructions (3phase scenarios only)")
+    p.add_argument("--deliveries", nargs="*",
+                   help="Step-6 deliveries (3phase scenarios only)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = in-process serial)")
+    p.add_argument("--cache-dir",
+                   help="JSON result cache directory (default: off)")
+    p.add_argument("--force", action="store_true",
+                   help="re-run scenarios even if cached")
+    p.add_argument("--fast", action="store_true",
+                   help="engine fast path: skip strict CONGEST model checks")
+    p.add_argument("--no-verify", action="store_true")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("table1", help="regenerate Table 1 (measured)")
     p.add_argument("--family", choices=GRAPH_FAMILIES, default="er")

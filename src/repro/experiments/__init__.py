@@ -1,0 +1,33 @@
+"""Scenario-sweep subsystem: declarative experiment matrices, run at scale.
+
+The ROADMAP's north star is "as many scenarios as you can imagine"; this
+package is the machinery for that.  A :class:`ScenarioSpec` names one
+concrete ``(graph family, size, weight model, algorithm, seed)`` run; a
+:class:`ScenarioMatrix` is the declarative cross product that expands to
+many; a :class:`SweepExecutor` runs them serially or across worker
+processes with deterministic per-scenario seeding and a JSON result cache
+keyed by scenario hash (re-runs skip finished scenarios).  ``python -m
+repro sweep`` is the CLI entry; :func:`repro.analysis.tables.sweep_table`
+aggregates the records into the Table-1-style report.
+"""
+
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.registry import (
+    ALGORITHMS,
+    GRAPH_FAMILIES,
+    WEIGHT_MODELS,
+    make_graph,
+)
+from repro.experiments.runner import run_scenario
+from repro.experiments.spec import ScenarioMatrix, ScenarioSpec
+
+__all__ = [
+    "ALGORITHMS",
+    "GRAPH_FAMILIES",
+    "WEIGHT_MODELS",
+    "ScenarioMatrix",
+    "ScenarioSpec",
+    "SweepExecutor",
+    "make_graph",
+    "run_scenario",
+]

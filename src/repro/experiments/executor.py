@@ -1,0 +1,147 @@
+"""Run scenario sets serially or across processes, with a JSON result cache.
+
+The executor is deliberately dumb about *what* runs (that is
+:mod:`repro.experiments.runner`'s job) and careful about *how*:
+
+* **Determinism** — records come back in spec order regardless of worker
+  count, and every non-timing field is a pure function of the spec, so a
+  ``--workers 8`` sweep is record-for-record identical to ``--workers 1``.
+* **Caching** — each record is written to ``<cache_dir>/<scenario
+  hash>.json`` (sorted keys, fixed layout).  A later sweep over an
+  overlapping matrix loads the finished scenarios instead of re-running
+  them; ``force=True`` ignores and rewrites the cache.
+* **Isolation** — parallel mode uses ``ProcessPoolExecutor`` (one Python
+  simulation is GIL-bound, so threads would serialize anyway).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+from repro.experiments.runner import RECORD_VERSION, run_scenario_dict
+from repro.experiments.spec import ScenarioSpec
+
+
+class SweepExecutor:
+    """Execute many :class:`ScenarioSpec` runs with caching and workers.
+
+    Parameters
+    ----------
+    cache_dir:
+        Where result JSON lives; ``None`` disables caching entirely.
+    workers:
+        ``<= 1`` runs in-process (no pool, easiest to debug); ``> 1`` fans
+        scenarios out over that many worker processes.
+    verify:
+        Check every distance matrix against the centralized reference
+        (slow but honest; sweeps used for correctness claims keep it on).
+    force:
+        Re-run and overwrite scenarios even when a cached record exists.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        workers: int = 1,
+        verify: bool = True,
+        force: bool = False,
+    ) -> None:
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir else None
+        self.workers = max(1, int(workers))
+        self.verify = verify
+        self.force = force
+        #: counts from the most recent :meth:`run`
+        self.executed = 0
+        self.cached = 0
+
+    # ------------------------------------------------------------------
+    def cache_path(self, spec: ScenarioSpec) -> Optional[pathlib.Path]:
+        """Where ``spec``'s record lives (``None`` when caching is off)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{spec.key}.json"
+
+    def _load_cached(self, spec: ScenarioSpec) -> Optional[dict]:
+        path = self.cache_path(spec)
+        if path is None or self.force or not path.exists():
+            return None
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None  # torn write or hand-edited file: just re-run
+        if record.get("version") != RECORD_VERSION or record.get("hash") != spec.key:
+            return None
+        if self.verify and not record.get("verified"):
+            return None  # cached by a --no-verify run: re-run and check it
+        return record
+
+    def _store(self, record: dict) -> None:
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cache_dir / f"{record['hash']}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(record, sort_keys=True, indent=2) + "\n")
+        tmp.replace(path)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        specs: Sequence[ScenarioSpec],
+        progress: Optional[Callable[[ScenarioSpec, bool], None]] = None,
+    ) -> List[dict]:
+        """Run every spec; return records in spec order.
+
+        ``progress(spec, was_cached)`` is invoked once per scenario as its
+        record becomes available.
+        """
+        records: List[Optional[dict]] = [None] * len(specs)
+        todo: List[int] = []
+        self.executed = self.cached = 0
+
+        for i, spec in enumerate(specs):
+            cached = self._load_cached(spec)
+            if cached is not None:
+                records[i] = cached
+                self.cached += 1
+                if progress:
+                    progress(spec, True)
+            else:
+                todo.append(i)
+
+        if todo and self.workers > 1:
+            payloads = [specs[i].to_dict() for i in todo]
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                fresh = pool.map(
+                    run_scenario_dict,
+                    payloads,
+                    [self.verify] * len(payloads),
+                    chunksize=1,
+                )
+                for i, record in zip(todo, fresh):
+                    records[i] = record
+                    self._store(record)
+                    self.executed += 1
+                    if progress:
+                        progress(specs[i], False)
+        else:
+            for i in todo:
+                record = run_scenario_dict(specs[i].to_dict(), self.verify)
+                records[i] = record
+                self._store(record)
+                self.executed += 1
+                if progress:
+                    progress(specs[i], False)
+
+        return records  # type: ignore[return-value]
+
+
+def strip_timing(record: dict) -> dict:
+    """The deterministic part of a record (drop wall-clock measurements)."""
+    return {k: v for k, v in record.items() if k != "timing"}
+
+
+__all__ = ["SweepExecutor", "strip_timing"]

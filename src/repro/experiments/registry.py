@@ -1,0 +1,98 @@
+"""Named axes of the scenario space: graph families, weight models, algorithms.
+
+This is the single registry the CLI, the sweep subsystem, and the
+benchmarks share, so a scenario named ``("er", 32, "integer", "det-n43",
+seed=7)`` means the same instance everywhere.  Everything here is fully
+deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+from repro.apsp import (
+    baseline_n32_apsp,
+    deterministic_apsp,
+    five_thirds_apsp,
+    naive_bf_apsp,
+    randomized_apsp,
+)
+from repro.graphs import (
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    grid2d,
+    layered_digraph,
+    path_graph,
+    random_geometric,
+    ring_graph,
+    star_of_paths,
+    watts_strogatz,
+)
+from repro.graphs.spec import Graph
+
+#: End-to-end APSP contenders runnable as ``fn(net, graph)`` (Table 1 keys).
+ALGORITHMS: Dict[str, Callable] = {
+    "det-n43": deterministic_apsp,
+    "det-n32": baseline_n32_apsp,
+    "rand-n43": randomized_apsp,
+    "det-n53": five_thirds_apsp,
+    "naive-bf": naive_bf_apsp,
+}
+
+#: Edge-weight models, as generator keyword overrides.
+WEIGHT_MODELS: Dict[str, Dict[str, object]] = {
+    "uniform": {},  # each generator's default real-valued range
+    "integer": {"wrange": (1.0, 16.0), "integer": True},
+    "unit": {"wrange": (1.0, 1.0), "integer": True},
+    "zero": {"zero_frac": 0.3},  # 30% zero-weight edges (er families only)
+}
+
+GRAPH_FAMILIES = [
+    "er", "er-directed", "grid", "ring", "path", "complete", "ba", "star",
+    "layered", "rgg", "ws",
+]
+
+
+def make_graph(family: str, n: int, seed: int, weights: str = "uniform") -> Graph:
+    """Instantiate one generator family at roughly ``n`` nodes.
+
+    ``weights`` picks a :data:`WEIGHT_MODELS` entry; the ``zero`` model only
+    exists for the Erdos-Renyi families (the other generators have no
+    zero-weight knob).
+    """
+    if weights not in WEIGHT_MODELS:
+        raise ValueError(f"unknown weight model {weights!r}")
+    wkw = dict(WEIGHT_MODELS[weights])
+    if "zero_frac" in wkw and family not in ("er", "er-directed"):
+        raise ValueError(f"weight model 'zero' is only defined for er families, "
+                         f"not {family!r}")
+    if family == "er":
+        return erdos_renyi(n, p=max(0.1, 4.0 / n), seed=seed, **wkw)
+    if family == "er-directed":
+        return erdos_renyi(n, p=max(0.12, 5.0 / n), seed=seed, directed=True,
+                           **wkw)
+    if family == "grid":
+        side = max(2, round(math.sqrt(n)))
+        return grid2d(side, max(2, n // side), seed=seed, **wkw)
+    if family == "ring":
+        return ring_graph(n, seed=seed, **wkw)
+    if family == "path":
+        return path_graph(n, seed=seed, **wkw)
+    if family == "complete":
+        return complete_graph(n, seed=seed, **wkw)
+    if family == "ba":
+        return barabasi_albert(n, seed=seed, **wkw)
+    if family == "star":
+        return star_of_paths(max(2, n // 6), 6, seed=seed, **wkw)
+    if family == "layered":
+        return layered_digraph(max(2, n // 4), 4, seed=seed, **wkw)
+    if family == "rgg":
+        return random_geometric(n, seed=seed, **wkw)
+    if family == "ws":
+        return watts_strogatz(n, seed=seed, **wkw)
+    raise ValueError(f"unknown graph family {family!r}")
+
+
+__all__ = ["ALGORITHMS", "GRAPH_FAMILIES", "WEIGHT_MODELS", "make_graph"]

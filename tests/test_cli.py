@@ -57,8 +57,36 @@ def test_every_family_constructs(family):
 
 
 def test_unknown_family_rejected():
-    with pytest.raises(SystemExit):
+    with pytest.raises(ValueError):
         make_graph("torus", 16, 0)
+
+
+def test_sweep_rejects_misplaced_driver_flags(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--sizes", "10", "--algorithms", "naive-bf",
+              "--blockers", "greedy"])
+
+
+def test_sweep_rejects_bad_axis_combination(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--families", "path", "--sizes", "10",
+              "--algorithms", "naive-bf", "--weights", "zero"])
+
+
+def test_sweep_command(capsys, tmp_path):
+    args = ["sweep", "--families", "er", "--sizes", "10", "12",
+            "--algorithms", "naive-bf", "--seeds", "1",
+            "--cache-dir", str(tmp_path)]
+    rc = main(args)
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "2 scenarios" in out and "2 executed, 0 from cache" in out
+    assert "naive-bf" in out and "fitted alpha" in out
+    # second run: everything comes from the cache
+    rc = main(args)
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "0 executed, 2 from cache" in out
 
 
 def test_algorithm_registry_complete():
