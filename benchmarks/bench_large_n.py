@@ -1,0 +1,140 @@
+"""L1 — large-n throughput: rounds/sec and wall-clock vs the seed engine.
+
+The large-n presets (``repro sweep --preset large-n``) push the
+deterministic APSP to n in the hundreds; this bench tracks the two
+numbers that make those sweeps feasible:
+
+* **engine throughput** — simulated CONGEST rounds per second of the full
+  deterministic-APSP run, on the vectorized strict engine, the fast path,
+  and (at the smallest size) the frozen seed engine's run loop;
+* **Step-5 closure** — wall-clock of the numpy blocked min-plus closure
+  vs the retained Python oracle, with a bit-identical-records check.
+
+``--smoke`` runs the CI-sized subset: the n=64 engine comparison plus a
+full n=128 deterministic-APSP run under both closure backends, asserting
+the distance matrices hash identically (the sweep smoke job wires this
+in).  The full run adds n=256 and the seed engine at n=128.
+
+Usage::
+
+    python benchmarks/bench_large_n.py [--smoke] [--sizes 64 128 ...]
+
+or through pytest-benchmark: ``pytest benchmarks/bench_large_n.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.apsp import deterministic_apsp
+from repro.congest.network import CongestNetwork
+from repro.experiments.registry import make_graph
+
+from _common import emit, once
+from bench_engine_fastpath import SeedCongestNetwork
+
+SEED = 1
+SMOKE_SIZES = [64, 128]
+FULL_SIZES = [64, 128, 256]
+
+
+def _dist_hash(dist: np.ndarray) -> str:
+    canon = np.ascontiguousarray(dist, dtype=np.float64)
+    return hashlib.sha256(canon.tobytes()).hexdigest()[:16]
+
+
+def run_apsp(graph, engine: str, closure: str = "auto"):
+    """One deterministic-APSP run; returns (result, wall seconds)."""
+    if engine == "seed":
+        net = SeedCongestNetwork(graph)
+    elif engine == "strict":
+        net = CongestNetwork(graph)
+    else:
+        net = CongestNetwork(graph, strict=False)
+    t0 = time.perf_counter()
+    result = deterministic_apsp(net, graph, closure=closure)
+    return result, time.perf_counter() - t0
+
+
+def large_n_report(sizes: List[int], smoke: bool) -> str:
+    rows = []
+    baseline = {}
+    for n in sizes:
+        graph = make_graph("er", n, SEED)
+        engines = ["strict", "fast"]
+        if n == sizes[0] or (not smoke and n <= 128):
+            engines.insert(0, "seed")
+        for engine in engines:
+            result, wall = run_apsp(graph, engine)
+            rounds = result.rounds
+            if engine == "seed":
+                baseline[n] = wall
+            speedup = (
+                f"{baseline[n] / wall:.2f}x" if n in baseline else "--"
+            )
+            rows.append([
+                n, engine, rounds, f"{wall:.2f}",
+                f"{rounds / wall:,.0f}", speedup,
+            ])
+    return render_table(
+        ["n", "engine", "rounds", "wall (s)", "rounds/sec", "vs seed"],
+        rows,
+        title="L1: deterministic APSP at large n (er graphs)",
+    )
+
+
+def closure_equivalence_report(n: int) -> str:
+    """Full APSP under both Step-5 backends must hash identically."""
+    graph = make_graph("er", n, SEED)
+    rows = []
+    hashes = {}
+    for backend in ("numpy", "python"):
+        result, wall = run_apsp(graph, "fast", closure=backend)
+        hashes[backend] = _dist_hash(result.dist)
+        rows.append([
+            backend, f"{wall:.2f}", result.rounds, hashes[backend],
+        ])
+    assert hashes["numpy"] == hashes["python"], (
+        f"Step-5 backends disagree at n={n}: {hashes}"
+    )
+    return render_table(
+        ["closure backend", "wall (s)", "rounds", "dist sha256[:16]"],
+        rows,
+        title=f"L1: Step-5 closure backends on n={n} (records identical)",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized subset (n<=128, no seed engine "
+                             "beyond the smallest size)")
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        help="override the size ladder")
+    args = parser.parse_args(argv)
+    sizes = args.sizes or (SMOKE_SIZES if args.smoke else FULL_SIZES)
+    report = large_n_report(sizes, args.smoke)
+    report += "\n\n" + closure_equivalence_report(min(128, max(sizes)))
+    emit("large_n", report)
+    return 0
+
+
+def test_large_n_smoke(benchmark):
+    """pytest-benchmark entry: the --smoke measurement, one pass."""
+    report = once(benchmark, lambda: (
+        large_n_report(SMOKE_SIZES, smoke=True)
+        + "\n\n"
+        + closure_equivalence_report(128)
+    ))
+    emit("large_n", report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

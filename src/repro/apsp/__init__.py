@@ -17,6 +17,7 @@ algorithm                 ``h``       blocker           delivery      bound
 """
 
 from repro.apsp.result import APSPResult
+from repro.apsp.closure import local_closure
 from repro.apsp.driver import three_phase_apsp
 from repro.apsp.deterministic import deterministic_apsp
 from repro.apsp.baseline_n32 import baseline_n32_apsp
@@ -28,6 +29,7 @@ __all__ = [
     "baseline_n32_apsp",
     "deterministic_apsp",
     "five_thirds_apsp",
+    "local_closure",
     "naive_bf_apsp",
     "randomized_apsp",
     "three_phase_apsp",

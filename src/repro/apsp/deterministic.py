@@ -22,6 +22,7 @@ def deterministic_apsp(
     graph: Graph,
     h: Optional[int] = None,
     params: Optional[BlockerParams] = None,
+    closure: str = "auto",
 ) -> APSPResult:
     """The paper's algorithm (deterministic, ``O~(n^{4/3})`` rounds)."""
     return three_phase_apsp(
@@ -32,6 +33,7 @@ def deterministic_apsp(
         delivery="pipelined",
         params=params,
         algorithm="det-n43",
+        closure=closure,
     )
 
 

@@ -20,7 +20,6 @@ driver with a different ``(h, blocker, delivery)`` triple:
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional
 
 from repro.congest.metrics import PhaseLog
@@ -30,14 +29,16 @@ from repro.blocker.derandomized import deterministic_blocker_set
 from repro.blocker.greedy import greedy_blocker_set
 from repro.blocker.randomized import BlockerParams, randomized_blocker_set
 from repro.blocker.sampling import sampling_blocker_set
-from repro.graphs.spec import Cost, Graph, INF_COST, ZERO_COST
-from repro.pipeline.values import add_triples, is_finite
+from repro.graphs.spec import Cost, Graph
+from repro.pipeline.values import is_finite
 from repro.pipeline.broadcast_delivery import broadcast_delivery
 from repro.pipeline.extension import extend_h_hop
 from repro.pipeline.reversed_qsink import reversed_qsink
 from repro.primitives.bellman_ford import bellman_ford
 from repro.primitives.bfs import build_bfs_tree
 from repro.primitives.broadcast import gather_and_broadcast
+from repro.apsp.closure import BACKENDS as CLOSURE_BACKENDS
+from repro.apsp.closure import local_closure
 from repro.apsp.result import APSPResult
 
 #: Step-2 strategies (name -> construction function).  Each takes the
@@ -64,15 +65,28 @@ def three_phase_apsp(
     delivery: str = "pipelined",
     params: Optional[BlockerParams] = None,
     algorithm: str = "",
+    closure: str = "auto",
 ) -> APSPResult:
-    """Run Algorithm 1 with the given hop budget / Step 2 / Step 6 choices."""
+    """Run Algorithm 1 with the given hop budget / Step 2 / Step 6 choices.
+
+    ``closure`` selects the Step-5 backend (:mod:`repro.apsp.closure`):
+    ``"auto"`` / ``"numpy"`` / ``"python"``.  All backends produce
+    bit-identical labels, so the choice only affects wall-clock time.
+    """
     if blocker not in BLOCKERS:
         raise ValueError(f"unknown blocker strategy {blocker!r}")
     if delivery not in DELIVERIES:
         raise ValueError(f"unknown delivery strategy {delivery!r}")
+    if closure not in CLOSURE_BACKENDS:
+        raise ValueError(f"unknown closure backend {closure!r}")
     n = graph.n
     log = PhaseLog()
-    meta: Dict[str, object] = {"h": h, "blocker": blocker, "delivery": delivery}
+    meta: Dict[str, object] = {
+        "h": h,
+        "blocker": blocker,
+        "delivery": delivery,
+        "closure": closure,
+    }
 
     # Step 1: h-CSSSP for V.
     coll, stats = build_csssp(net, graph, range(n), h, label="step1")
@@ -105,47 +119,13 @@ def three_phase_apsp(
     received, stats = gather_and_broadcast(net, bfs, items, label="step4")
     log.add("step4-qq-broadcast", stats)
 
-    # Step 5: local lexicographic min-plus closure at every node.
+    # Step 5: local lexicographic min-plus closure at every node — free in
+    # CONGEST, and the simulator's former Python-triple bottleneck; now a
+    # blocked numpy min-plus product behind local_closure().
     q = len(q_nodes)
-    values: List[Dict[int, Cost]] = [{} for _ in range(n)]
-    if q:
-        m: List[List[Cost]] = [
-            [ZERO_COST if i == j else INF_COST for j in range(q)]
-            for i in range(q)
-        ]
-        for ci, cj, d, k, tb in received[bfs.root]:
-            cand = (d, k, tb)
-            if cand < m[ci][cj]:
-                m[ci][cj] = cand
-        for mid in range(q):  # Floyd-Warshall over label triples
-            row_mid = m[mid]
-            for i in range(q):
-                via = m[i][mid]
-                if not is_finite(via):
-                    continue
-                row_i = m[i]
-                for j in range(q):
-                    leg = row_mid[j]
-                    if leg[0] < math.inf:
-                        cand = add_triples(via, leg)
-                        if cand < row_i[j]:
-                            row_i[j] = cand
-        # delta(x, c) = min_{c1} delta_h(x, c1) + M*(c1, c)  (the direct
-        # delta_h(x, c) term enters through the zero diagonal).
-        for x in range(n):
-            row = values[x]
-            for c1 in range(q):
-                first = lab_to[q_nodes[c1]][x]
-                if not is_finite(first):
-                    continue
-                closure_row = m[c1]
-                for cj in range(q):
-                    leg = closure_row[cj]
-                    if leg[0] < math.inf:
-                        cand = add_triples(first, leg)
-                        c = q_nodes[cj]
-                        if cand < row.get(c, INF_COST):
-                            row[c] = cand
+    values: List[Dict[int, Cost]] = local_closure(
+        q_nodes, received[bfs.root], lab_to, n, backend=closure
+    )
 
     # Step 6: reversed q-sink delivery.
     if q == 0:

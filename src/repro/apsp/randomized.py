@@ -18,7 +18,10 @@ from repro.apsp.result import APSPResult
 
 
 def randomized_apsp(
-    net: CongestNetwork, graph: Graph, h: Optional[int] = None
+    net: CongestNetwork,
+    graph: Graph,
+    h: Optional[int] = None,
+    closure: str = "auto",
 ) -> APSPResult:
     """Randomized 3-phase APSP: sampled blocker set + pipelined Step 6."""
     return three_phase_apsp(
@@ -28,6 +31,7 @@ def randomized_apsp(
         blocker="sampling",
         delivery="pipelined",
         algorithm="rand-n43",
+        closure=closure,
     )
 
 

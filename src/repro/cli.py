@@ -31,6 +31,7 @@ from repro.csssp import build_csssp
 from repro.experiments import (
     ALGORITHMS,
     GRAPH_FAMILIES,
+    SWEEP_PRESETS,
     WEIGHT_MODELS,
     ScenarioMatrix,
     SweepExecutor,
@@ -56,26 +57,39 @@ def cmd_apsp(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    # Axis resolution: explicit flags win, then the --preset values, then
+    # the built-in defaults.
+    preset = dict(SWEEP_PRESETS[args.preset]) if args.preset else {}
+
+    def axis(name, default):
+        given = getattr(args, name)
+        if given is not None:
+            return given
+        return preset.get(name, default)
+
+    families = axis("families", ["er"])
+    sizes = axis("sizes", [16, 24])
+    algorithms = axis("algorithms", ["det-n43"])
     driver_flags = [flag for flag, value in (
         ("--blockers", args.blockers),
         ("--deliveries", args.deliveries),
         ("--h-exponents", args.h_exponents),
     ) if value]
-    if driver_flags and THREE_PHASE not in args.algorithms:
+    if driver_flags and THREE_PHASE not in algorithms:
         raise SystemExit(
             f"repro sweep: {' / '.join(driver_flags)} only apply to the "
             f"'{THREE_PHASE}' algorithm; add it to --algorithms"
         )
     matrix = ScenarioMatrix(
-        families=args.families,
-        sizes=args.sizes,
-        algorithms=args.algorithms,
-        seeds=args.seeds,
-        weights=args.weights,
+        families=families,
+        sizes=sizes,
+        algorithms=algorithms,
+        seeds=axis("seeds", [1]),
+        weights=axis("weights", ["uniform"]),
         h_exponents=args.h_exponents or (None,),
         blockers=args.blockers or (None,),
         deliveries=args.deliveries or (None,),
-        strict=not args.fast,
+        strict=not args.fast and bool(preset.get("strict", True)),
     )
     try:
         specs = matrix.expand()
@@ -193,15 +207,16 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a scenario matrix in parallel with result caching",
     )
-    p.add_argument("--families", nargs="+", choices=GRAPH_FAMILIES,
-                   default=["er"])
-    p.add_argument("--sizes", type=int, nargs="+", default=[16, 24])
+    p.add_argument("--preset", choices=sorted(SWEEP_PRESETS),
+                   help="named scenario matrix (e.g. 'large-n' for the "
+                        "n in {128, 256} fast-path workloads); explicit "
+                        "axis flags override preset values")
+    p.add_argument("--families", nargs="+", choices=GRAPH_FAMILIES)
+    p.add_argument("--sizes", type=int, nargs="+")
     p.add_argument("--algorithms", nargs="+",
-                   choices=sorted(ALGORITHMS) + [THREE_PHASE],
-                   default=["det-n43"])
-    p.add_argument("--seeds", type=int, nargs="+", default=[1])
-    p.add_argument("--weights", nargs="+", choices=sorted(WEIGHT_MODELS),
-                   default=["uniform"])
+                   choices=sorted(ALGORITHMS) + [THREE_PHASE])
+    p.add_argument("--seeds", type=int, nargs="+")
+    p.add_argument("--weights", nargs="+", choices=sorted(WEIGHT_MODELS))
     p.add_argument("--h-exponents", type=float, nargs="*",
                    help="driver hop exponents (3phase scenarios only)")
     p.add_argument("--blockers", nargs="*",

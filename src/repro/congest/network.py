@@ -24,24 +24,89 @@ Model fidelity
 
 Implementation notes
 --------------------
-The engine is the innermost loop of every experiment, so delivery is
-*batched*: outgoing messages land directly in per-destination inbox lists
-that are swapped wholesale at the tick boundary (no per-message dict
-churn), per-node send counts live in a flat array, and each directed
-communication edge has a precomputed dense index so the strict bandwidth
-check is one dict probe plus an array increment.  ``strict=False`` skips
-the locality / bandwidth / word-size validation entirely — the measured
-fast path for large sweeps; semantics (delivery order, round accounting)
-are identical in both modes.
+The engine is the innermost loop of every experiment, so the hot path is
+organized around three ideas:
+
+* **Batched delivery** — outgoing messages land directly in per-destination
+  inbox lists that are swapped wholesale at the tick boundary (no
+  per-message dict churn), and ``send`` itself does no validation work in
+  either mode, so the per-message cost of ``strict=True`` and
+  ``strict=False`` is identical.
+* **Vectorized strict checks** — instead of checking each ``send``, strict
+  mode keeps *references* to each round's outbox lists (a constant number
+  of list operations per round, independent of the message count) and
+  validates them in batch: every ``_FLUSH_AT`` buffered messages — and at
+  every phase exit — the buffered rounds are flattened with C-level
+  ``chain`` / ``map`` passes into numpy arrays of dense ``src * n + dst``
+  edge keys and payload word counts, and the locality / bandwidth /
+  word-size rules are checked with a handful of array ops.  Edge keys
+  resolve through a preallocated dense edge index (an ``n x n`` edge-id
+  matrix when the graph is dense enough, a sorted-key binary search
+  otherwise — auto-selected from the average degree at construction).  The
+  per-round bandwidth rule survives batching because each buffered round
+  is a recorded segment of the chunk.  Rounds and chunks with only a few
+  messages use an equivalent scalar loop (the numpy fixed cost would
+  dominate); both report the same exception types.
+* **Vectorized wake scan** — on networks with at least
+  ``_WAKE_VECTOR_MIN`` nodes the per-round "who runs" scan (nodes with a
+  delivered message or ``active=True``) is a ``flatnonzero`` over a numpy
+  view of the activity buffer instead of a Python sweep over all ``n``
+  program objects.
+
+Validation therefore happens *after* the violating round, not inside the
+offending ``send`` call: the engine may simulate up to ``_FLUSH_AT``
+further messages before the exception surfaces from
+:meth:`CongestNetwork.run` (a violating phase never completes — the final
+flush at every exit, including the hard cap, checks every buffered round).
+The raise carries the offending edge and the tick it happened in.
+Semantics observable to programs (delivery order, round accounting,
+quiescence) are identical in both modes and both check paths.
 """
 
 from __future__ import annotations
 
+from itertools import chain
+from operator import itemgetter
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.congest.message import Message
+import numpy as np
+
+from repro.congest.message import Message, _count_words
 from repro.congest.metrics import RoundStats
 from repro.congest.node import Ctx, NodeProgram
+
+#: Rounds with at most this many messages are validated inline by the
+#: scalar loop instead of being buffered (cheaper than the buffering
+#: bookkeeping, and it keeps tiny phases' violations prompt).
+_INLINE_MAX = 8
+
+#: Chunks with fewer messages than this are validated by the scalar loop —
+#: below this size the numpy fixed cost exceeds the per-message savings.
+_VECTOR_MIN = 48
+
+#: Flush (validate) the pending strict-check chunk once it holds this many
+#: messages; phases also flush at every exit point.
+_FLUSH_AT = 4096
+
+#: Networks with fewer nodes than this keep the Python wake scan.
+_WAKE_VECTOR_MIN = 128
+
+#: Always use the dense ``n x n`` edge-id matrix up to this many nodes
+#: (the matrix is at most 256 KiB of int32 — cheaper than being clever).
+_DENSE_N_CAP = 256
+
+#: Above ``_DENSE_N_CAP`` nodes, use the dense matrix only when directed
+#: edges fill at least 1/8 of it (average degree >= n / 8); sparser graphs
+#: fall back to binary search over sorted edge keys.
+_DENSE_FILL_SHIFT = 3
+
+_GET_BOXES = itemgetter(1)
+_GET_DSTS = itemgetter(2)
+
+#: One buffered round of strict-mode traffic: the tick it happened in, the
+#: outbox list of every destination that received messages, and those
+#: destination ids (parallel lists).
+_PendingRound = Tuple[int, List[List[Message]], List[int]]
 
 
 class BandwidthExceeded(RuntimeError):
@@ -73,7 +138,14 @@ class CongestNetwork:
         Maximum payload words per message in strict mode.
     strict:
         When true (default), locality / bandwidth / word-size violations
-        raise immediately.
+        raise from :meth:`run` (batched — see the module docstring).
+        ``strict=False`` skips the validation entirely — the measured fast
+        path for large sweeps; delivery order and round accounting are
+        identical in both modes.
+    track_edges:
+        Additionally accumulate per-directed-edge send counts into the
+        returned stats (off by default: it is the one remaining per-send
+        dict update).
     """
 
     def __init__(
@@ -94,8 +166,8 @@ class CongestNetwork:
             tuple(graph.und_neighbors(v)) for v in range(self.n)
         ]
         # Dense index per directed communication edge: _edge_pos[src][dst]
-        # doubles as the locality check (missing key = not a neighbor) and
-        # as the slot into the per-round bandwidth-load array.
+        # doubles as the scalar locality check (missing key = not a
+        # neighbor) and as the slot into the bandwidth-count arrays.
         self._edge_pos: List[Dict[int, int]] = []
         eid = 0
         for v in range(self.n):
@@ -105,6 +177,25 @@ class CongestNetwork:
                 eid += 1
             self._edge_pos.append(pos)
         self._num_directed_edges = eid
+        # Endpoints by dense edge id (for error reporting out of the
+        # vectorized checks).
+        self._edge_src = np.empty(eid, dtype=np.int64)
+        self._edge_dst = np.empty(eid, dtype=np.int64)
+        for v, pos in enumerate(self._edge_pos):
+            for u, e in pos.items():
+                self._edge_src[e] = v
+                self._edge_dst[e] = u
+        # Auto-select the vectorized edge-id lookup: dense (n x n int32
+        # matrix, O(1) fancy-indexed gather) when the graph is small or its
+        # average degree makes the matrix reasonably full; sparse (binary
+        # search over sorted src*n+dst keys, O(log m)) otherwise.  Both are
+        # built lazily on the first vector-validated chunk.
+        self._dense_lookup: bool = self.n <= _DENSE_N_CAP or (
+            self.n > 0 and eid << _DENSE_FILL_SHIFT >= self.n * self.n
+        )
+        self._eid_mat: Optional[np.ndarray] = None  # dense: (n, n) edge ids
+        self._edge_keys: Optional[np.ndarray] = None  # sparse: sorted keys
+        self._edge_key_eids: Optional[np.ndarray] = None
         #: cumulative stats over every ``run`` on this network
         self.total = RoundStats(label="network-total")
 
@@ -112,6 +203,161 @@ class CongestNetwork:
     def neighbors(self, v: int) -> Sequence[int]:
         """Communication neighbors of ``v`` (underlying undirected graph)."""
         return self._adj[v]
+
+    # ------------------------------------------------------------------
+    def _build_lookup(self) -> None:
+        """Materialize the vectorized edge-id lookup tables (once)."""
+        if self._dense_lookup:
+            mat = np.full((self.n, self.n), -1, dtype=np.int32)
+            mat[self._edge_src, self._edge_dst] = np.arange(
+                self._num_directed_edges, dtype=np.int32
+            )
+            self._eid_mat = mat
+        else:
+            keys = self._edge_src * self.n + self._edge_dst
+            order = np.argsort(keys)
+            self._edge_keys = keys[order]
+            self._edge_key_eids = order.astype(np.int64)
+
+    def _resolve_eids(self, srcs: np.ndarray, dsts: np.ndarray) -> np.ndarray:
+        """Dense edge ids for ``(srcs[i], dsts[i])``; -1 marks a non-edge."""
+        if self._dense_lookup:
+            if self._eid_mat is None:
+                self._build_lookup()
+            return self._eid_mat[srcs, dsts]
+        if self._edge_keys is None:
+            self._build_lookup()
+        keys = srcs * self.n
+        keys += dsts
+        idx = np.searchsorted(self._edge_keys, keys)
+        idx_c = np.minimum(idx, len(self._edge_keys) - 1)
+        hit = self._edge_keys[idx_c] == keys
+        return np.where(hit, self._edge_key_eids[idx_c], -1)
+
+    # ------------------------------------------------------------------
+    def _validate_round_scalar(
+        self, boxes: List[List[Message]], dsts: List[int], tick: int
+    ) -> None:
+        """Scalar strict check of one round's traffic (the tiny-round path)."""
+        edge_pos = self._edge_pos
+        bandwidth = self.bandwidth
+        word_limit = self.word_limit
+        load: Dict[int, int] = {}
+        for dst, box in zip(dsts, boxes):
+            for msg in box:
+                eid = edge_pos[msg.src].get(dst)
+                if eid is None:
+                    raise NotANeighbor(f"node {msg.src} -> {dst}: not an edge")
+                count = load.get(eid, 0) + 1
+                if count > bandwidth:
+                    raise BandwidthExceeded(
+                        f"edge {msg.src}->{dst} carried {count} messages in "
+                        f"one round (bandwidth {bandwidth}, tick {tick})"
+                    )
+                load[eid] = count
+                words = _count_words(msg.payload)
+                if words > word_limit:
+                    raise BandwidthExceeded(
+                        f"message from {msg.src} has {words} words "
+                        f"(limit {word_limit})"
+                    )
+
+    def _validate_chunk(self, rounds: List[_PendingRound]) -> None:
+        """Strict check of the buffered rounds (locality, bandwidth, words).
+
+        Each entry buffers one round's outbox lists by reference (the
+        engine never mutates a delivered box, so the references stay
+        valid).  Tiny chunks reuse the scalar per-round loop; larger ones
+        flatten everything in C-level passes and check the three rules
+        with numpy array ops.  Within a chunk, violations are reported
+        locality first, then bandwidth, then word size (not interleaved in
+        send order) — the edge and tick reported are the same either way.
+        """
+        if not rounds:
+            return
+        flat_boxes = list(chain.from_iterable(map(_GET_BOXES, rounds)))
+        box_lens = np.fromiter(
+            map(len, flat_boxes), dtype=np.intp, count=len(flat_boxes)
+        )
+        total = int(box_lens.sum())
+        if total < _VECTOR_MIN:
+            for tick, boxes, dsts in rounds:
+                self._validate_round_scalar(boxes, dsts, tick)
+            rounds.clear()
+            return
+
+        n = self.n
+        # One C-level transpose exposes sources and payloads of every
+        # buffered message without a per-message Python step.
+        src_col, _kind_col, payloads = zip(*chain.from_iterable(flat_boxes))
+        srcs = np.fromiter(src_col, dtype=np.int64, count=total)
+        box_dsts = np.fromiter(
+            chain.from_iterable(map(_GET_DSTS, rounds)),
+            dtype=np.int64,
+            count=len(flat_boxes),
+        )
+        dsts_arr = np.repeat(box_dsts, box_lens)
+
+        # Locality: every (src, dst) pair must resolve to an edge id.
+        eids = self._resolve_eids(srcs, dsts_arr)
+        if eids.min() < 0:
+            i = int(np.argmax(eids < 0))
+            raise NotANeighbor(
+                f"node {int(srcs[i])} -> {int(dsts_arr[i])}: not an edge"
+            )
+
+        # Bandwidth: a whole-chunk bincount first — if no edge exceeds the
+        # budget even summed over every buffered round, no single round
+        # can.  Only on suspicion is the count redone per (round, edge),
+        # tagging each message with its round index so the rule stays
+        # per-round.
+        if int(np.bincount(eids).max(initial=0)) > self.bandwidth:
+            m = self._num_directed_edges
+            boxes_per_round = np.fromiter(
+                (len(boxes) for _tick, boxes, _dsts in rounds),
+                dtype=np.int64,
+                count=len(rounds),
+            )
+            offsets = np.concatenate(([0], np.cumsum(boxes_per_round)[:-1]))
+            round_lens = np.add.reduceat(box_lens, offsets)
+            round_ids = np.repeat(
+                np.arange(len(rounds), dtype=np.int64), round_lens
+            )
+            grouped, counts = np.unique(round_ids * m + eids, return_counts=True)
+            worst = int(counts.max(initial=0))
+            if worst > self.bandwidth:
+                j = int(np.argmax(counts))
+                ridx, eid = divmod(int(grouped[j]), m)
+                raise BandwidthExceeded(
+                    f"edge {int(self._edge_src[eid])}->"
+                    f"{int(self._edge_dst[eid])} carried {worst} messages in "
+                    f"one round (bandwidth {self.bandwidth}, "
+                    f"tick {rounds[ridx][0]})"
+                )
+
+        # Word size: for flat tuple payloads (Ctx.send's documented
+        # contract) the word count is len(payload), with an empty payload
+        # counting as one word — computed in one C pass.  Payloads with
+        # nested tuples (or non-iterable payloads) fall back to the exact
+        # recursive Message.words() count.
+        try:
+            lens = np.fromiter(map(len, payloads), dtype=np.int64, count=total)
+            deep = tuple in map(type, chain.from_iterable(payloads))
+        except TypeError:
+            deep = True
+        if deep:
+            words = np.fromiter(
+                map(_count_words, payloads), dtype=np.int64, count=total
+            )
+        else:
+            words = lens
+        if max(int(words.max(initial=0)), 1) > self.word_limit:
+            i = int(np.argmax(words > self.word_limit))
+            raise BandwidthExceeded(
+                f"message from {int(srcs[i])} has "
+                f"{max(int(words[i]), 1)} words (limit {self.word_limit})"
+            )
+        rounds.clear()
 
     # ------------------------------------------------------------------
     def run(
@@ -132,10 +378,7 @@ class CongestNetwork:
 
         n = self.n
         strict = self.strict
-        bandwidth = self.bandwidth
-        word_limit = self.word_limit
         adj = self._adj
-        edge_pos = self._edge_pos
         track_edges = self.track_edges
 
         # Batched delivery: per-destination inbox lists, swapped wholesale
@@ -151,32 +394,18 @@ class CongestNetwork:
         last_send_tick = -1
         tick = 0
 
-        # Per-round bandwidth load, indexed by dense directed-edge id;
-        # ``loaded`` remembers which slots to reset at the tick boundary.
-        edge_load = [0] * self._num_directed_edges
-        loaded: List[int] = []
+        # Pending strict-check chunk: buffered (tick, boxes, dsts) rounds
+        # plus the number of messages they hold (see _validate_chunk).
+        pending: List[_PendingRound] = []
+        pending_msgs = 0
+        round_sent_base = 0
 
         def send(src: int, dst: int, kind: str, payload: tuple) -> None:
+            # Identical in strict and fast mode: strict validation reads the
+            # outboxes back in batch at the round boundary, so a send pays
+            # zero per-message validation cost (see module docstring).
             nonlocal messages_total
-            if strict:
-                eid = edge_pos[src].get(dst)
-                if eid is None:
-                    raise NotANeighbor(f"node {src} -> {dst}: not an edge")
-                load = edge_load[eid] + 1
-                if load > bandwidth:
-                    raise BandwidthExceeded(
-                        f"edge {src}->{dst} carried {load} messages in one "
-                        f"round (bandwidth {bandwidth}, tick {tick})"
-                    )
-                if load == 1:
-                    loaded.append(eid)
-                edge_load[eid] = load
             msg = Message(src, kind, payload)
-            if strict and msg.words() > word_limit:
-                raise BandwidthExceeded(
-                    f"message {kind!r} from {src} has {msg.words()} words "
-                    f"(limit {word_limit})"
-                )
             box = outboxes[dst]
             if box is None:
                 outboxes[dst] = [msg]
@@ -193,7 +422,11 @@ class CongestNetwork:
         ctx._send = send
         empty: List[Message] = []
 
+        # Activity flags live in a bytearray so the vectorized wake scan can
+        # read them zero-copy through a numpy view.
         active = bytearray(n)
+        active_view = np.frombuffer(active, dtype=np.uint8)
+        vector_wake = n >= _WAKE_VECTOR_MIN
         num_active = 0
         for v in range(n):
             if programs[v].active:
@@ -204,6 +437,9 @@ class CongestNetwork:
             if max_rounds is not None and tick > max_rounds:
                 break
             if tick > hard_cap:
+                if strict:
+                    # Prefer reporting a model violation over the cap.
+                    self._validate_chunk(pending)
                 raise HardCapExceeded(
                     f"phase {label!r} exceeded {hard_cap} ticks without quiescing"
                 )
@@ -212,31 +448,55 @@ class CongestNetwork:
             in_touched, out_touched = out_touched, in_touched
             if not in_touched and not num_active:
                 break
-            if loaded:
-                for eid in loaded:
-                    edge_load[eid] = 0
-                loaded.clear()
 
             # Wake = has inbox or active, processed in increasing node id
             # (deterministic execution order).
             if num_active:
-                for v in range(n):
-                    box = inboxes[v]
-                    if box is None and not active[v]:
-                        continue
-                    prog = programs[v]
-                    ctx.node = v
-                    ctx.round = tick
-                    ctx.inbox = empty if box is None else box
-                    ctx.neighbors = adj[v]
-                    prog.on_round(ctx)
-                    if prog.active:
-                        if not active[v]:
-                            active[v] = 1
-                            num_active += 1
-                    elif active[v]:
-                        active[v] = 0
-                        num_active -= 1
+                if vector_wake:
+                    # flatnonzero / union1d return sorted unique ids, so the
+                    # execution order matches the Python sweep exactly.
+                    if in_touched:
+                        wake = np.union1d(
+                            np.flatnonzero(active_view),
+                            np.fromiter(
+                                in_touched, dtype=np.int64, count=len(in_touched)
+                            ),
+                        ).tolist()
+                    else:
+                        wake = np.flatnonzero(active_view).tolist()
+                    for v in wake:
+                        box = inboxes[v]
+                        prog = programs[v]
+                        ctx.node = v
+                        ctx.round = tick
+                        ctx.inbox = empty if box is None else box
+                        ctx.neighbors = adj[v]
+                        prog.on_round(ctx)
+                        if prog.active:
+                            if not active[v]:
+                                active[v] = 1
+                                num_active += 1
+                        elif active[v]:
+                            active[v] = 0
+                            num_active -= 1
+                else:
+                    for v in range(n):
+                        box = inboxes[v]
+                        if box is None and not active[v]:
+                            continue
+                        prog = programs[v]
+                        ctx.node = v
+                        ctx.round = tick
+                        ctx.inbox = empty if box is None else box
+                        ctx.neighbors = adj[v]
+                        prog.on_round(ctx)
+                        if prog.active:
+                            if not active[v]:
+                                active[v] = 1
+                                num_active += 1
+                        elif active[v]:
+                            active[v] = 0
+                            num_active -= 1
             else:
                 in_touched.sort()
                 for v in in_touched:
@@ -250,12 +510,35 @@ class CongestNetwork:
                         active[v] = 1
                         num_active += 1
 
+            if strict and out_touched:
+                # Validate tiny rounds inline; buffer the rest by reference
+                # (a delivered box is never mutated by the engine, so the
+                # references stay valid after the inbox slots are reset).
+                round_msgs = messages_total - round_sent_base
+                round_sent_base = messages_total
+                if round_msgs <= _INLINE_MAX:
+                    self._validate_round_scalar(
+                        [outboxes[dst] for dst in out_touched], out_touched, tick
+                    )
+                else:
+                    pending.append(
+                        (tick, [outboxes[dst] for dst in out_touched],
+                         list(out_touched))
+                    )
+                    pending_msgs += round_msgs
+                    if pending_msgs >= _FLUSH_AT:
+                        self._validate_chunk(pending)
+                        pending_msgs = 0
+
             for v in in_touched:
                 inboxes[v] = None
             in_touched.clear()
             if out_touched:
                 last_send_tick = tick
             tick += 1
+
+        if strict:
+            self._validate_chunk(pending)
 
         stats = RoundStats(
             rounds=last_send_tick + 1,

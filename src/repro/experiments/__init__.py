@@ -15,6 +15,7 @@ from repro.experiments.executor import SweepExecutor
 from repro.experiments.registry import (
     ALGORITHMS,
     GRAPH_FAMILIES,
+    SWEEP_PRESETS,
     WEIGHT_MODELS,
     make_graph,
 )
@@ -24,6 +25,7 @@ from repro.experiments.spec import ScenarioMatrix, ScenarioSpec
 __all__ = [
     "ALGORITHMS",
     "GRAPH_FAMILIES",
+    "SWEEP_PRESETS",
     "WEIGHT_MODELS",
     "ScenarioMatrix",
     "ScenarioSpec",

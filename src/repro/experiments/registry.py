@@ -54,6 +54,38 @@ GRAPH_FAMILIES = [
     "layered", "rgg", "ws",
 ]
 
+#: Named scenario-matrix presets for ``repro sweep --preset``.  Each value
+#: is a set of :class:`~repro.experiments.spec.ScenarioMatrix` keyword
+#: overrides; flags given explicitly on the command line still win.  The
+#: ``large-n`` presets unlock the n-in-the-hundreds workloads that the
+#: fitted-exponent analysis needs (they default to the engine fast path —
+#: ``strict`` there would only re-validate protocols already exercised by
+#: the strict tier-1 suite at small n).
+SWEEP_PRESETS: Dict[str, Dict[str, object]] = {
+    "quick": {
+        "families": ["er", "path"],
+        "sizes": [16, 24],
+        "algorithms": ["det-n43", "naive-bf"],
+    },
+    "paper-small": {
+        "families": ["er"],
+        "sizes": [16, 24, 32, 48],
+        "algorithms": sorted(ALGORITHMS),
+    },
+    "large-n": {
+        "families": ["er", "ws"],
+        "sizes": [128, 256],
+        "algorithms": ["det-n43", "rand-n43"],
+        "strict": False,
+    },
+    "large-n-smoke": {
+        "families": ["er"],
+        "sizes": [128],
+        "algorithms": ["det-n43"],
+        "strict": False,
+    },
+}
+
 
 def make_graph(family: str, n: int, seed: int, weights: str = "uniform") -> Graph:
     """Instantiate one generator family at roughly ``n`` nodes.

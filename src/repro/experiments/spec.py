@@ -118,7 +118,10 @@ class ScenarioMatrix:
     The driver axes (``h_exponents`` / ``blockers`` / ``deliveries``) only
     multiply scenarios whose algorithm is ``"3phase"``; for named Table-1
     algorithms they collapse to their defaults so the matrix stays free of
-    meaningless duplicates.
+    meaningless duplicates.  Common matrices ship as named presets in
+    :data:`repro.experiments.registry.SWEEP_PRESETS` (``repro sweep
+    --preset``), e.g. ``large-n`` for the n ∈ {128, 256} fast-path
+    workloads.
     """
 
     families: Sequence[str] = ("er",)
@@ -129,6 +132,8 @@ class ScenarioMatrix:
     h_exponents: Sequence[Optional[float]] = (None,)
     blockers: Sequence[Optional[str]] = (None,)
     deliveries: Sequence[Optional[str]] = (None,)
+    #: engine mode for every scenario (False = the measured fast path;
+    #: the large-n presets in the registry set this)
     strict: bool = True
 
     def expand(self) -> List[ScenarioSpec]:

@@ -110,27 +110,39 @@ class _BFProgram(NodeProgram):
             self._targets = tuple(u for (u, _w, _tb) in graph.in_edges(node))
 
     def on_round(self, ctx: Ctx) -> None:
+        # Hot loop of Steps 1/3/7: most announcements lose on weight
+        # alone, so gate the tuple construction and full lexicographic
+        # comparison behind one float compare.  The gate keeps a relative
+        # epsilon of slack so the Step-7 equal-label confirmation below
+        # (which tolerates the same epsilon) still sees its candidates;
+        # on the dyadic weight grid equal sums are exactly equal, so the
+        # slack never changes a decision.
+        h = self.h
+        edge_in = self._edge_in
+        label = self.label
+        gate = label[0] + 1e-9 * (1.0 + abs(label[0]))
         for msg in ctx.inbox:
             if msg.kind != "bf":
                 continue
-            wt = self._edge_in.get(msg.src)
+            wt = edge_in.get(msg.src)
             if wt is None:  # pragma: no cover - defensive
                 continue
             d, k, t, b = msg.payload
+            if b >= h or d + wt[0] > gate:
+                continue
             cand: Cost = (d + wt[0], k + 1, t + wt[1])
-            if b + 1 <= self.h and cand < self.label:
-                self.label = cand
+            if cand < label:
+                label = self.label = cand
+                gate = label[0] + 1e-9 * (1.0 + abs(label[0]))
                 self.budget = b + 1
                 self.parent = msg.src
                 self._dirty = True
             elif (
                 self._fill_equal
                 and self.parent < 0
-                and b + 1 <= self.h
-                and cand[1] == self.label[1]
-                and cand[2] == self.label[2]
-                and abs(cand[0] - self.label[0])
-                <= 1e-9 * (1.0 + abs(self.label[0]))
+                and cand[1] == label[1]
+                and cand[2] == label[2]
+                and abs(cand[0] - label[0]) <= 1e-9 * (1.0 + abs(label[0]))
             ):
                 # Step 7 routing: a node initialized with a Step-6 value
                 # wins its own label (the initialization *is* the optimum),

@@ -1,0 +1,230 @@
+"""Step-5 ``local_closure``: numpy blocked min-plus vs the Python oracle.
+
+The numpy backend must be *bit-identical* to the retained triple-loop
+oracle on every input the driver can produce — including unreachable
+pairs (inf labels), zero-weight ties decided by hops/tie-break planes,
+and adversarially large weights (where the int64 encoding must either
+stay exact or fall back).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.apsp import deterministic_apsp, three_phase_apsp
+from repro.apsp.closure import BACKENDS, ClosureOverflow, local_closure
+from repro.apsp.driver import default_h
+from repro.congest.network import CongestNetwork
+from repro.graphs import erdos_renyi
+from repro.graphs.reference import h_hop_labels
+from repro.graphs.spec import INF_COST, quantize_weight
+
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def driver_inputs(graph, q_nodes, h):
+    """Build (entries, lab_to) exactly as the 3-phase driver does."""
+    lab_to = {}
+    for c in q_nodes:
+        lab_to[c] = h_hop_labels(graph, c, h, reverse=True)
+    entries = []
+    for ci, c in enumerate(q_nodes):
+        for cj, cp in enumerate(q_nodes):
+            lab = lab_to[cp][c]
+            if c != cp and lab != INF_COST:
+                entries.append((ci, cj) + lab)
+    return entries, lab_to
+
+
+def random_instance(seed, n=None, q=None, zero_frac=0.0, wmax=9.0):
+    rng = random.Random(seed)
+    n = n if n is not None else rng.randint(6, 20)
+    graph = erdos_renyi(
+        n,
+        p=rng.uniform(0.15, 0.5),
+        seed=seed,
+        directed=rng.random() < 0.5,
+        wrange=(0.0 if zero_frac else 0.25, wmax),
+        zero_frac=zero_frac,
+    )
+    q = q if q is not None else rng.randint(1, max(1, n // 2))
+    q_nodes = sorted(rng.sample(range(n), q))
+    h = rng.randint(1, 4)
+    entries, lab_to = driver_inputs(graph, q_nodes, h)
+    return graph, q_nodes, entries, lab_to
+
+
+def assert_backends_agree(q_nodes, entries, lab_to, n, **kw):
+    ref = local_closure(q_nodes, entries, lab_to, n, backend="python")
+    out = local_closure(q_nodes, entries, lab_to, n, backend="numpy", **kw)
+    assert out == ref  # bit-identical: same floats, hops, tie-breaks
+    return ref
+
+
+# ---------------------------------------------------------------------------
+# equivalence on random weighted digraphs
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_numpy_matches_oracle_on_random_digraphs(seed):
+    graph, q_nodes, entries, lab_to = random_instance(seed)
+    assert_backends_agree(q_nodes, entries, lab_to, graph.n)
+
+
+@pytest.mark.parametrize("seed", [3, 5])
+def test_numpy_matches_oracle_with_zero_weight_ties(seed):
+    # 40% zero-weight edges: equal-weight paths force the hops and
+    # tie-break planes to decide, the hardest case for lexicographic
+    # vectorization.
+    graph, q_nodes, entries, lab_to = random_instance(seed, zero_frac=0.4)
+    assert_backends_agree(q_nodes, entries, lab_to, graph.n)
+
+
+def test_numpy_matches_oracle_with_unreachable_pairs():
+    # Two disjoint halves: every cross-half label is INF_COST and must
+    # stay absent from the result.
+    rng = random.Random(9)
+    half = erdos_renyi(8, p=0.5, seed=9)
+    edges = list(half.edges) + [
+        (u + 8, v + 8, w) for (u, v, w) in half.edges
+    ]
+    from repro.graphs.spec import Graph
+
+    graph = Graph(16, edges, seed=9)
+    q_nodes = sorted(rng.sample(range(16), 6))
+    entries, lab_to = driver_inputs(graph, q_nodes, 3)
+    values = assert_backends_agree(q_nodes, entries, lab_to, graph.n)
+    for x in range(8):
+        for c in q_nodes:
+            if c >= 8:
+                assert c not in values[x]
+
+
+def test_blocked_product_agrees_with_unblocked():
+    graph, q_nodes, entries, lab_to = random_instance(21, n=14, q=7)
+    ref = local_closure(q_nodes, entries, lab_to, graph.n, backend="python")
+    for block in (1, 2, 3, 1000):
+        out = local_closure(
+            q_nodes, entries, lab_to, graph.n, backend="numpy", block=block
+        )
+        assert out == ref
+
+
+def test_empty_and_singleton_blocker_sets():
+    graph, _, _, _ = random_instance(2, n=8)
+    h = 2
+    assert local_closure([], [], {}, graph.n) == [{} for _ in range(graph.n)]
+    entries, lab_to = driver_inputs(graph, [3], h)
+    assert_backends_agree([3], entries, lab_to, graph.n)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="closure backend"):
+        local_closure([0], [], {0: [INF_COST]}, 1, backend="cuda")
+    assert set(BACKENDS) == {"auto", "numpy", "python"}
+
+
+# ---------------------------------------------------------------------------
+# overflow edges
+
+
+def test_overflow_weights_raise_on_explicit_numpy_backend():
+    # Weights near 2^45 grid ticks: 2 * (q + 1) * max exceeds the int64
+    # safety margin, so the exact encoding must refuse.
+    big = float(1 << 45)
+    lab_to = {0: [(big, 1, 1), (0.0, 0, 0)], 1: [(big, 1, 1), (big, 1, 1)]}
+    entries = [(0, 1, big, 1, 1), (1, 0, big, 1, 1)]
+    with pytest.raises(ClosureOverflow):
+        local_closure([0, 1], entries, lab_to, 2, backend="numpy")
+
+
+def test_overflow_weights_fall_back_to_oracle_on_auto():
+    big = quantize_weight(float(1 << 45))
+    lab_to = {0: [(big, 1, 1), (0.0, 0, 0)], 1: [(big, 1, 1), (big, 1, 1)]}
+    entries = [(0, 1, big, 1, 1), (1, 0, big, 1, 1)]
+    auto = local_closure([0, 1], entries, lab_to, 2, backend="auto")
+    ref = local_closure([0, 1], entries, lab_to, 2, backend="python")
+    assert auto == ref
+    assert auto[0][0][0] == big  # the huge weight survives exactly
+
+
+def test_large_but_safe_weights_stay_exact():
+    # Just inside the refusal margin: must still match the oracle bit for
+    # bit (sums of quantized multiples are exact in both domains).
+    graph, q_nodes, entries, lab_to = random_instance(
+        31, n=10, q=4, wmax=float(1 << 30)
+    )
+    assert_backends_agree(q_nodes, entries, lab_to, graph.n)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_float53_boundary_weights_agree(seed):
+    # Tick counts near 2^52: the oracle's float sums would round here
+    # while int64 stays exact, so the safety limit must push these onto
+    # the oracle under "auto" — either way the backends must agree.
+    graph, q_nodes, entries, lab_to = random_instance(
+        seed, n=10, q=4, wmax=float(1 << 36)
+    )
+    ref = local_closure(q_nodes, entries, lab_to, graph.n, backend="python")
+    out = local_closure(q_nodes, entries, lab_to, graph.n, backend="auto")
+    assert out == ref
+
+
+# ---------------------------------------------------------------------------
+# hypothesis property test (skipped when hypothesis is not installed)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - CI installs numpy+pytest only
+    HAVE_HYPOTHESIS = False
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        zero=st.sampled_from([0.0, 0.3]),
+        wmax=st.sampled_from([1.0, 7.25, 1000.0]),
+    )
+    def test_property_numpy_equals_oracle(seed, zero, wmax):
+        graph, q_nodes, entries, lab_to = random_instance(
+            seed, zero_frac=zero, wmax=wmax
+        )
+        assert_backends_agree(q_nodes, entries, lab_to, graph.n)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: the driver's records are identical under either backend
+
+
+@pytest.mark.parametrize("directed", [False, True])
+def test_three_phase_records_identical_across_backends(directed):
+    graph = erdos_renyi(24, p=0.2, seed=4, directed=directed)
+    h = default_h(graph.n)
+    results = {}
+    for backend in ("numpy", "python"):
+        net = CongestNetwork(graph)
+        results[backend] = three_phase_apsp(
+            net, graph, h, closure=backend
+        )
+    a, b = results["numpy"], results["python"]
+    assert np.array_equal(a.dist, b.dist)
+    assert np.array_equal(a.pred, b.pred)
+    assert a.rounds == b.rounds and a.meta["q"] == b.meta["q"]
+    a.verify(graph)
+
+
+def test_deterministic_apsp_closure_parameter():
+    graph = erdos_renyi(18, p=0.25, seed=6)
+    a = deterministic_apsp(CongestNetwork(graph), graph, closure="python")
+    b = deterministic_apsp(CongestNetwork(graph), graph, closure="numpy")
+    assert np.array_equal(a.dist, b.dist)
+    assert a.meta["closure"] == "python" and b.meta["closure"] == "numpy"

@@ -234,3 +234,151 @@ def test_bf_payload_is_four_words():
 
     msg = Message(0, "bf", (45.25, 8, 866463714599298, 2))
     assert msg.words() == 4
+
+
+# ---------------------------------------------------------------------------
+# vectorized strict validation: the batched numpy checks must enforce the
+# same rules as the scalar per-message loop, on both edge-lookup layouts.
+
+import repro.congest.network as network_mod  # noqa: E402
+from repro.graphs import erdos_renyi  # noqa: E402
+from repro.primitives.bellman_ford import bellman_ford  # noqa: E402
+from repro.primitives.bfs import build_bfs_tree  # noqa: E402
+
+
+@pytest.fixture
+def force_vector(monkeypatch):
+    """Route every strict check through the numpy chunk validator."""
+    monkeypatch.setattr(network_mod, "_INLINE_MAX", 0)
+    monkeypatch.setattr(network_mod, "_VECTOR_MIN", 1)
+
+
+@pytest.fixture
+def force_sparse(monkeypatch):
+    """Force the sorted-key binary-search edge lookup (sparse layout).
+
+    With a shift of 0 the dense criterion needs directed edges >= n^2,
+    which no simple graph reaches, so every network built under this
+    fixture uses the sparse lookup.
+    """
+    monkeypatch.setattr(network_mod, "_DENSE_N_CAP", 0)
+    monkeypatch.setattr(network_mod, "_DENSE_FILL_SHIFT", 0)
+
+
+def test_vector_path_bandwidth_enforced(force_vector):
+    g = path_graph(3)
+    net = CongestNetwork(g, bandwidth=1)
+    with pytest.raises(BandwidthExceeded, match="carried 2 messages"):
+        net.run([Flood(v) for v in range(g.n)])
+
+
+def test_vector_path_locality_enforced(force_vector):
+    g = path_graph(3)
+    net = CongestNetwork(g)
+    with pytest.raises(NotANeighbor, match="node 0 -> 2"):
+        net.run([Teleport(v) for v in range(g.n)])
+
+
+def test_vector_path_word_limit_enforced(force_vector):
+    g = path_graph(2)
+    net = CongestNetwork(g, word_limit=8)
+    with pytest.raises(BandwidthExceeded, match="100 words"):
+        net.run([FatMessage(v) for v in range(g.n)])
+
+
+class NestedMessage(NodeProgram):
+    """Flat length 2, but 9 words once the nested tuple is counted."""
+
+    def on_round(self, ctx):
+        if ctx.node == 0 and ctx.round == 0:
+            ctx.send(1, "deep", (tuple(range(8)), 1))
+        self.active = False
+
+
+def test_vector_path_counts_nested_payloads_exactly(force_vector):
+    g = path_graph(2)
+    net = CongestNetwork(g, word_limit=8)
+    with pytest.raises(BandwidthExceeded, match="9 words"):
+        net.run([NestedMessage(v) for v in range(g.n)])
+    # Scalar inline path agrees (same program, default thresholds).
+    with pytest.raises(BandwidthExceeded, match="9 words"):
+        CongestNetwork(g, word_limit=8).run(
+            [NestedMessage(v) for v in range(g.n)]
+        )
+    # Under a budget of 9 the nested payload is legal on both paths.
+    stats = CongestNetwork(g, word_limit=9).run(
+        [NestedMessage(v) for v in range(g.n)]
+    )
+    assert stats.messages == 1
+
+
+@pytest.mark.parametrize("layout", ["dense", "sparse"])
+def test_vector_path_accounting_matches_scalar(
+    layout, force_vector, request
+):
+    if layout == "sparse":
+        request.getfixturevalue("force_sparse")
+    g = erdos_renyi(24, p=0.3, seed=5)
+    _tree_f, fast_stats = build_bfs_tree(CongestNetwork(g, strict=False))
+    _tree_v, vector_stats = build_bfs_tree(CongestNetwork(g))
+    assert (vector_stats.rounds, vector_stats.messages) == (
+        fast_stats.rounds,
+        fast_stats.messages,
+    )
+    assert vector_stats.per_node_sent == fast_stats.per_node_sent
+
+
+def test_sparse_lookup_detects_violations(force_vector, force_sparse):
+    g = path_graph(3)
+    net = CongestNetwork(g)
+    assert net._dense_lookup is False
+    with pytest.raises(NotANeighbor):
+        net.run([Teleport(v) for v in range(g.n)])
+    net2 = CongestNetwork(g, bandwidth=1)
+    with pytest.raises(BandwidthExceeded):
+        net2.run([Flood(v) for v in range(g.n)])
+
+
+def test_vectorized_wake_scan_matches_python_scan(monkeypatch):
+    g = erdos_renyi(32, p=0.2, seed=11)
+    ref = bellman_ford(CongestNetwork(g), g, 0, h=5)
+    monkeypatch.setattr(network_mod, "_WAKE_VECTOR_MIN", 1)
+    out = bellman_ford(CongestNetwork(g), g, 0, h=5)
+    assert out.label == ref.label
+    assert out.parent == ref.parent
+    assert (out.rounds.rounds, out.rounds.messages) == (
+        ref.rounds.rounds,
+        ref.rounds.messages,
+    )
+
+
+def test_strict_and_fast_engines_agree_end_to_end():
+    """Batched strict validation must not perturb semantics at all."""
+    g = erdos_renyi(40, p=0.15, seed=3)
+    tree_s, stats_s = build_bfs_tree(CongestNetwork(g))
+    tree_f, stats_f = build_bfs_tree(CongestNetwork(g, strict=False))
+    assert tree_s.parent == tree_f.parent
+    assert tree_s.height == tree_f.height
+    assert (stats_s.rounds, stats_s.messages) == (
+        stats_f.rounds,
+        stats_f.messages,
+    )
+
+
+def test_violation_in_final_round_before_max_rounds_still_raises(
+    force_vector,
+):
+    class LastTickViolator(NodeProgram):
+        def on_round(self, ctx):
+            if ctx.node == 0 and ctx.round == 3:
+                ctx.send(2, "x")  # not a neighbor on a path
+                self.active = False
+
+    g = path_graph(3)
+    net = CongestNetwork(g)
+    with pytest.raises(NotANeighbor):
+        # max_rounds cuts the phase right after the violating send: the
+        # undelivered round must still be validated by the exit flush.
+        net.run(
+            [LastTickViolator(v) for v in range(g.n)], max_rounds=3
+        )

@@ -1,0 +1,93 @@
+"""Documentation stays true: snippets execute, links resolve, API.md fresh.
+
+Three guarantees over ``README.md`` and ``docs/*.md``:
+
+* every fenced ``python`` code block executes (doctest-style — a block
+  may opt out with an immediately preceding ``<!-- doc-test: skip -->``
+  marker for illustrative pseudo-code);
+* every relative markdown link points at a file that exists in the repo;
+* ``docs/API.md`` matches what ``tools/gen_api_docs.py`` generates from
+  the live docstrings.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOCS = sorted(REPO.glob("docs/*.md")) + [REPO / "README.md"]
+
+SKIP_MARKER = "<!-- doc-test: skip -->"
+FENCE = re.compile(r"```python[^\n]*\n(.*?)```", re.DOTALL)
+# [text](target) — excluding images; target split from any #fragment
+LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def doc_ids(paths):
+    return [str(p.relative_to(REPO)) for p in paths]
+
+
+def python_blocks(text: str):
+    """(offset, code) for every fenced python block not opted out."""
+    for match in FENCE.finditer(text):
+        preceding = text[: match.start()].rstrip().rsplit("\n", 1)[-1]
+        if SKIP_MARKER in preceding:
+            continue
+        yield match.start(), match.group(1)
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=doc_ids(DOCS))
+def test_doc_snippets_execute(doc):
+    text = doc.read_text()
+    blocks = list(python_blocks(text))
+    for offset, code in blocks:
+        namespace = {"__name__": "__doc_snippet__"}
+        try:
+            exec(compile(code, f"{doc.name}@{offset}", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            line = text[:offset].count("\n") + 1
+            pytest.fail(
+                f"{doc.relative_to(REPO)} snippet at line {line} failed: "
+                f"{exc!r}\n{code}"
+            )
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=doc_ids(DOCS))
+def test_doc_intra_repo_links_resolve(doc):
+    text = doc.read_text()
+    broken = []
+    for target in LINK.findall(text):
+        if re.match(r"^[a-z]+:", target):  # http:, https:, mailto:, ...
+            continue
+        path = target.split("#", 1)[0]
+        if not path:  # pure in-page anchor
+            continue
+        resolved = (doc.parent / path).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, (
+        f"{doc.relative_to(REPO)} has broken intra-repo links: {broken}"
+    )
+
+
+def test_api_md_is_fresh():
+    spec = importlib.util.spec_from_file_location(
+        "gen_api_docs", REPO / "tools" / "gen_api_docs.py"
+    )
+    gen = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(gen)
+    current = (REPO / "docs" / "API.md").read_text()
+    assert current == gen.render(), (
+        "docs/API.md is stale; regenerate with: python tools/gen_api_docs.py"
+    )
+
+
+def test_docs_exist_and_are_linked_from_readme():
+    readme = (REPO / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/API.md" in readme
+    assert (REPO / "docs" / "ARCHITECTURE.md").exists()
