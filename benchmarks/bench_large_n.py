@@ -1,19 +1,26 @@
 """L1 — large-n throughput: rounds/sec and wall-clock vs the seed engine.
 
 The large-n presets (``repro sweep --preset large-n``) push the
-deterministic APSP to n in the hundreds; this bench tracks the two
+deterministic APSP to n in the hundreds; this bench tracks the three
 numbers that make those sweeps feasible:
 
 * **engine throughput** — simulated CONGEST rounds per second of the full
   deterministic-APSP run, on the vectorized strict engine, the fast path,
-  and (at the smallest size) the frozen seed engine's run loop;
+  the round-compressed mode (``compress=True``, bit-identical records and
+  round counts — see :mod:`repro.congest.compressed`), and (at the
+  smallest size) the frozen seed engine's run loop;
+* **compressed equivalence + speedup** — the compressed run must hash
+  identically to the fast run (distances, predecessors, rounds,
+  messages), and at n=256 it must clear >= 3x the fast path's
+  rounds/sec (the ISSUE 3 acceptance bar);
 * **Step-5 closure** — wall-clock of the numpy blocked min-plus closure
   vs the retained Python oracle, with a bit-identical-records check.
 
 ``--smoke`` runs the CI-sized subset: the n=64 engine comparison plus a
-full n=128 deterministic-APSP run under both closure backends, asserting
-the distance matrices hash identically (the sweep smoke job wires this
-in).  The full run adds n=256 and the seed engine at n=128.
+full n=128 deterministic-APSP run under both closure backends and both
+execution modes, asserting the records identical (the sweep smoke job
+wires this in).  The full run adds n=256 (with the 3x assertion) and the
+seed engine at n=128.
 
 Usage::
 
@@ -50,12 +57,25 @@ def _dist_hash(dist: np.ndarray) -> str:
     return hashlib.sha256(canon.tobytes()).hexdigest()[:16]
 
 
+def _record_hash(result) -> str:
+    """Content hash of the full record: distances *and* predecessors."""
+    dist = np.ascontiguousarray(result.dist, dtype=np.float64)
+    pred = np.ascontiguousarray(result.pred, dtype=np.int64)
+    return hashlib.sha256(dist.tobytes() + pred.tobytes()).hexdigest()[:16]
+
+
+#: The ISSUE 3 acceptance bar: compressed rounds/sec at n=256 vs fast.
+COMPRESSED_MIN_SPEEDUP = 3.0
+
+
 def run_apsp(graph, engine: str, closure: str = "auto"):
     """One deterministic-APSP run; returns (result, wall seconds)."""
     if engine == "seed":
         net = SeedCongestNetwork(graph)
     elif engine == "strict":
         net = CongestNetwork(graph)
+    elif engine == "compressed":
+        net = CongestNetwork(graph, strict=False, compress=True)
     else:
         net = CongestNetwork(graph, strict=False)
     t0 = time.perf_counter()
@@ -68,14 +88,41 @@ def large_n_report(sizes: List[int], smoke: bool) -> str:
     baseline = {}
     for n in sizes:
         graph = make_graph("er", n, SEED)
-        engines = ["strict", "fast"]
+        engines = ["strict", "fast", "compressed"]
         if n == sizes[0] or (not smoke and n <= 128):
             engines.insert(0, "seed")
+        fast = {}
         for engine in engines:
             result, wall = run_apsp(graph, engine)
             rounds = result.rounds
             if engine == "seed":
                 baseline[n] = wall
+            if engine == "fast":
+                fast = {
+                    "wall": wall,
+                    "rounds": rounds,
+                    "messages": result.stats.messages,
+                    "hash": _record_hash(result),
+                }
+            if engine == "compressed":
+                # The compressed mode must be an *equivalent* execution:
+                # identical records and identical round accounting.
+                assert rounds == fast["rounds"], (
+                    f"compressed rounds diverged at n={n}: "
+                    f"{rounds} != {fast['rounds']}"
+                )
+                assert result.stats.messages == fast["messages"], (
+                    f"compressed messages diverged at n={n}"
+                )
+                assert _record_hash(result) == fast["hash"], (
+                    f"compressed records diverged at n={n}"
+                )
+                if n >= 256:
+                    speed = fast["wall"] / wall
+                    assert speed >= COMPRESSED_MIN_SPEEDUP, (
+                        f"compressed rounds/sec only {speed:.2f}x of fast "
+                        f"at n={n} (need >= {COMPRESSED_MIN_SPEEDUP}x)"
+                    )
             speedup = (
                 f"{baseline[n] / wall:.2f}x" if n in baseline else "--"
             )
@@ -86,7 +133,8 @@ def large_n_report(sizes: List[int], smoke: bool) -> str:
     return render_table(
         ["n", "engine", "rounds", "wall (s)", "rounds/sec", "vs seed"],
         rows,
-        title="L1: deterministic APSP at large n (er graphs)",
+        title="L1: deterministic APSP at large n (er graphs; compressed "
+              "records asserted identical to fast)",
     )
 
 

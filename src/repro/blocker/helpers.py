@@ -19,8 +19,16 @@ Ancestors algorithm).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.congest.compressed import (
+    CompressedPhase,
+    PhaseSchedule,
+    live_child_counts,
+    tree_arrays,
+)
 from repro.congest.metrics import RoundStats
 from repro.congest.network import CongestNetwork
 from repro.congest.node import Ctx, NodeProgram
@@ -55,11 +63,70 @@ class _ViCountProgram(NodeProgram):
         self.active = False
 
 
+class _CompressedViCount(CompressedPhase):
+    """Round-compressed `_ViCountProgram`: the beta flood, evaluated top-down.
+
+    The flood is a synchronized wave — a live node at depth ``d``
+    forwards the running count to each live child in round ``d`` — so the
+    schedule is one message per live non-root node and the wave ends one
+    round after the deepest live internal node fires.
+    """
+
+    def __init__(self, tree: TreeView, h: int, vi: Set[int], label: str) -> None:
+        self.tree = tree
+        self.h = h
+        self.vi = vi
+        self.label = label
+        self._parent, self._depth, self._live = tree_arrays(tree)
+        self._lc = live_child_counts(self._parent, self._live, tree.n)
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        t = self.tree
+        internal = self._live & (self._lc > 0)
+        if not internal.any() or not t.live(t.root):
+            return PhaseSchedule()
+        idx = np.flatnonzero(internal)
+        per_node = dict(zip(idx.tolist(), self._lc[idx].tolist()))
+        per_edge = None
+        if net.track_edges:
+            kids = np.flatnonzero(self._live & (self._parent >= 0))
+            per_edge = {
+                (p, c): 1
+                for c, p in zip(kids.tolist(), self._parent[kids].tolist())
+            }
+        return PhaseSchedule(
+            rounds=int(self._depth[idx].max()) + 1,
+            messages=int(self._lc[idx].sum()),
+            per_node_sent=per_node,
+            per_edge_sent=per_edge,
+        )
+
+    def evaluate(self, net: CongestNetwork) -> Dict[int, int]:
+        t = self.tree
+        if not t.live(t.root):
+            return {}
+        parent, depth, live = self._parent, self._depth, self._live
+        n = t.n
+        in_vi = np.zeros(n, dtype=np.int64)
+        for v in self.vi:
+            if 0 <= v < n:
+                in_vi[v] = 1
+        beta = np.zeros(n, dtype=np.int64)
+        for d in range(1, self.h + 1):
+            idx = np.flatnonzero(live & (depth == d))
+            if len(idx):
+                # The root slot never counts, so beta[root] stays 0.
+                beta[idx] = beta[parent[idx]] + in_vi[idx]
+        leaves = np.flatnonzero(live & (depth == self.h))
+        return dict(zip(leaves.tolist(), beta[leaves].tolist()))
+
+
 def compute_vi_counts(
     net: CongestNetwork,
     coll: CSSSPCollection,
     vi: Set[int],
     label: str = "compute-pij",
+    compress: Optional[bool] = None,
 ) -> Tuple[Dict[int, Dict[int, int]], RoundStats]:
     """Per-leaf ``V_i``-member counts for every live length-``h`` path.
 
@@ -67,10 +134,20 @@ def compute_vi_counts(
     nodes of the root-to-``leaf`` path of ``T_x`` that are in ``vi``, for
     every live leaf at depth ``h``.  One ``O(h)``-round flood per tree
     (Algorithms 3/4; Lemmas 3.3/3.4), ``O(|S| \\cdot h)`` in total.
+    ``compress`` selects the round-compressed execution mode (default:
+    the network's setting).
     """
+    compressed = net.use_compressed(compress)
     total = RoundStats(label=label)
     beta: Dict[int, Dict[int, int]] = {}
     for x, t in coll.trees.items():
+        if compressed:
+            per_leaf, stats = net.run_compressed(
+                _CompressedViCount(t, coll.h, vi, f"{label}({x})")
+            )
+            total.merge(stats)
+            beta[x] = per_leaf
+            continue
         programs = [_ViCountProgram(v, t, v in vi) for v in range(coll.n)]
         total.merge(net.run(programs, label=f"{label}({x})"))
         beta[x] = {
@@ -153,10 +230,64 @@ class _AncestorsProgram(NodeProgram):
         self.active = bool(self.queue)
 
 
+class _CompressedAncestors(CompressedPhase):
+    """Round-compressed `_AncestorsProgram`: the pipelined ancestor stream.
+
+    The stream never stalls — a live internal node at depth ``d``
+    forwards its own record in round 0 and the record of its depth-``a``
+    ancestor in round ``d - a`` — so node ``v`` sends exactly
+    ``depth(v) + 1`` records to each live child and the phase ends one
+    round after the deepest internal node forwards the root's record.
+    """
+
+    def __init__(self, tree: TreeView, label: str) -> None:
+        self.tree = tree
+        self.label = label
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        t = self.tree
+        parent, depth, live = tree_arrays(t)
+        lc = live_child_counts(parent, live, t.n)
+        internal = live & (lc > 0)
+        if not internal.any():
+            return PhaseSchedule()
+        idx = np.flatnonzero(internal)
+        records = depth[idx] + 1  # own record plus one per strict ancestor
+        per_node = dict(zip(idx.tolist(), (records * lc[idx]).tolist()))
+        per_edge = None
+        if net.track_edges:
+            kids = np.flatnonzero(live & (parent >= 0))
+            per_edge = {
+                (p, c): int(depth[p] + 1)
+                for c, p in zip(kids.tolist(), parent[kids].tolist())
+            }
+        return PhaseSchedule(
+            rounds=int(depth[idx].max()) + 1,
+            messages=int((records * lc[idx]).sum()),
+            per_node_sent=per_node,
+            per_edge_sent=per_edge,
+        )
+
+    def evaluate(self, net: CongestNetwork) -> Dict[int, List[int]]:
+        t = self.tree
+        per_node: Dict[int, List[int]] = {}
+        if t.live(t.root):
+            per_node[t.root] = []
+            stack = [t.root]
+            while stack:
+                v = stack.pop()
+                path = per_node[v]
+                for c in t.live_children(v):
+                    per_node[c] = path + [v]
+                    stack.append(c)
+        return per_node
+
+
 def collect_ancestors(
     net: CongestNetwork,
     coll: CSSSPCollection,
     label: str = "ancestors",
+    compress: Optional[bool] = None,
 ) -> Tuple[Dict[int, Dict[int, List[int]]], RoundStats]:
     """Every live node learns the ids on its root path, in every tree.
 
@@ -164,10 +295,20 @@ def collect_ancestors(
     of ``v`` in ``T_x`` ordered root-first (so the hyperedge ending at leaf
     ``v`` is ``anc[x][v][1:] + [v]``).  ``O(h)`` rounds per tree — each
     edge forwards one record per round and carries at most ``h`` of them.
+    ``compress`` selects the round-compressed execution mode (default:
+    the network's setting).
     """
+    compressed = net.use_compressed(compress)
     total = RoundStats(label=label)
     anc: Dict[int, Dict[int, List[int]]] = {}
     for x, t in coll.trees.items():
+        if compressed:
+            per_node, stats = net.run_compressed(
+                _CompressedAncestors(t, f"{label}({x})")
+            )
+            total.merge(stats)
+            anc[x] = per_node
+            continue
         programs = [_AncestorsProgram(v, t) for v in range(coll.n)]
         total.merge(net.run(programs, label=f"{label}({x})"))
         per_node: Dict[int, List[int]] = {}

@@ -18,6 +18,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.congest.compressed import CompressedPhase, PhaseSchedule, tree_arrays
 from repro.congest.metrics import RoundStats
 from repro.congest.network import CongestNetwork
 from repro.congest.node import Ctx, NodeProgram
@@ -54,19 +57,100 @@ class _SubtreeSumProgram(NodeProgram):
         self.active = t.live(v) and ctx.round < fire
 
 
+class _CompressedSubtreeSum(CompressedPhase):
+    """Round-compressed `_SubtreeSumProgram`: the bottom-up tree sum.
+
+    Every live non-root node sends exactly one message — in round
+    ``h - depth(v)`` — so the schedule is immediate.  The sums accumulate
+    level by level with ``np.add.at`` when the values are integer-valued
+    (the score/indicator workloads — exact in float64 regardless of add
+    order); otherwise a Python fold replays the engine's exact
+    accumulation order (live children in ascending id).
+    """
+
+    def __init__(
+        self, tree: TreeView, h: int, values: Sequence[float], label: str
+    ) -> None:
+        self.tree = tree
+        self.h = h
+        self.values = values
+        self.label = label
+        self._parent, self._depth, self._live = tree_arrays(tree)
+        self._senders = self._live & (self._parent >= 0)
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        senders = self._senders
+        count = int(senders.sum())
+        if not count:
+            return PhaseSchedule()
+        idx = np.flatnonzero(senders)
+        per_edge = None
+        if net.track_edges:
+            per_edge = {
+                (v, p): 1
+                for v, p in zip(idx.tolist(), self._parent[idx].tolist())
+            }
+        return PhaseSchedule(
+            rounds=self.h - int(self._depth[idx].min()) + 1,
+            messages=count,
+            per_node_sent=dict.fromkeys(idx.tolist(), 1),
+            per_edge_sent=per_edge,
+        )
+
+    def evaluate(self, net: CongestNetwork) -> List[float]:
+        t = self.tree
+        parent, depth, live = self._parent, self._depth, self._live
+        vals = np.asarray(self.values, dtype=np.float64)
+        acc = np.where(live, vals, 0.0)
+        if np.array_equal(acc, np.trunc(acc)):
+            # Integer-valued: float addition is exact in any order, so the
+            # level-by-level vectorized accumulation matches the engine.
+            senders = self._senders
+            for d in range(int(depth.max(initial=0)), 0, -1):
+                idx = np.flatnonzero(senders & (depth == d))
+                if len(idx):
+                    np.add.at(acc, parent[idx], acc[idx])
+            return acc.tolist()
+        # General floats: replay the engine's exact fold order.
+        out = [0.0] * t.n
+        if not t.live(t.root):
+            return out
+        order: List[int] = []
+        stack = [t.root]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            stack.extend(t.live_children(v))
+        for v in reversed(order):
+            total = self.values[v]
+            for c in sorted(t.live_children(v)):
+                total += out[c]
+            out[v] = total
+        return out
+
+
 def subtree_sums(
     net: CongestNetwork,
     coll: CSSSPCollection,
     x: int,
     values: Sequence[float],
     label: str = "",
+    compress: Optional[bool] = None,
 ) -> Tuple[List[float], RoundStats]:
     """Per-node live-subtree sums of ``values`` in tree ``T_x``.
 
     Returns ``sums`` with ``sums[v] = sum(values[u] for u in live
-    subtree(v))`` for live ``v`` (0 elsewhere), in at most ``h + 1`` rounds.
+    subtree(v))`` for live ``v`` (0 elsewhere), in at most ``h + 1``
+    rounds.  ``compress`` selects the round-compressed execution mode
+    (default: the network's setting).
     """
     t = coll.trees[x]
+    if net.use_compressed(compress):
+        phase = _CompressedSubtreeSum(
+            t, coll.h, [values[v] if t.live(v) else 0.0 for v in range(coll.n)],
+            label or f"subtree-sums({x})",
+        )
+        return net.run_compressed(phase)
     programs = [
         _SubtreeSumProgram(v, t, coll.h, values[v] if t.live(v) else 0.0)
         for v in range(coll.n)
@@ -89,6 +173,7 @@ def compute_scores(
     net: CongestNetwork,
     coll: CSSSPCollection,
     label: str = "scores",
+    compress: Optional[bool] = None,
 ) -> Tuple[List[float], Dict[int, List[float]], RoundStats]:
     """``score(v)`` for every node plus the per-tree leaf-count aggregates.
 
@@ -102,7 +187,8 @@ def compute_scores(
     per_tree: Dict[int, List[float]] = {}
     for x in coll.trees:
         sums, stats = subtree_sums(
-            net, coll, x, leaf_indicators(coll, x), label=f"{label}({x})"
+            net, coll, x, leaf_indicators(coll, x), label=f"{label}({x})",
+            compress=compress,
         )
         total.merge(stats)
         per_tree[x] = sums
@@ -118,6 +204,7 @@ def compute_score_ij(
     coll: CSSSPCollection,
     pij_leaf: Dict[int, List[int]],
     label: str = "score-ij",
+    compress: Optional[bool] = None,
 ) -> Tuple[List[float], RoundStats]:
     """``score_ij(v)`` — live paths in ``P_ij`` through ``v`` (Step 8, Alg. 2).
 
@@ -133,7 +220,8 @@ def compute_score_ij(
             values[leaf] = 1.0
         if not pij_leaf.get(x):
             continue
-        sums, stats = subtree_sums(net, coll, x, values, label=f"{label}({x})")
+        sums, stats = subtree_sums(net, coll, x, values, label=f"{label}({x})",
+                                   compress=compress)
         total.merge(stats)
         t = coll.trees[x]
         for v in range(coll.n):

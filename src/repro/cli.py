@@ -59,7 +59,14 @@ def cmd_apsp(args) -> int:
 def cmd_sweep(args) -> int:
     # Axis resolution: explicit flags win, then the --preset values, then
     # the built-in defaults.
-    preset = dict(SWEEP_PRESETS[args.preset]) if args.preset else {}
+    preset = {}
+    if args.preset:
+        if args.preset not in SWEEP_PRESETS:
+            raise SystemExit(
+                f"repro sweep: unknown preset {args.preset!r}; available "
+                f"presets: {', '.join(sorted(SWEEP_PRESETS))}"
+            )
+        preset = dict(SWEEP_PRESETS[args.preset])
 
     def axis(name, default):
         given = getattr(args, name)
@@ -90,6 +97,7 @@ def cmd_sweep(args) -> int:
         blockers=args.blockers or (None,),
         deliveries=args.deliveries or (None,),
         strict=not args.fast and bool(preset.get("strict", True)),
+        compress=args.compressed or bool(preset.get("compress", False)),
     )
     try:
         specs = matrix.expand()
@@ -207,10 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run a scenario matrix in parallel with result caching",
     )
-    p.add_argument("--preset", choices=sorted(SWEEP_PRESETS),
+    p.add_argument("--preset",
                    help="named scenario matrix (e.g. 'large-n' for the "
                         "n in {128, 256} fast-path workloads); explicit "
-                        "axis flags override preset values")
+                        "axis flags override preset values; an unknown "
+                        "name lists the available presets")
     p.add_argument("--families", nargs="+", choices=GRAPH_FAMILIES)
     p.add_argument("--sizes", type=int, nargs="+")
     p.add_argument("--algorithms", nargs="+",
@@ -231,6 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="re-run scenarios even if cached")
     p.add_argument("--fast", action="store_true",
                    help="engine fast path: skip strict CONGEST model checks")
+    p.add_argument("--compressed", action="store_true",
+                   help="round-compressed fixed-schedule phases "
+                        "(bit-identical records, faster simulation)")
     p.add_argument("--no-verify", action="store_true")
     p.set_defaults(func=cmd_sweep)
 

@@ -19,12 +19,18 @@ This subpackage is a from-scratch, deterministic simulator of that model:
 * :class:`~repro.congest.metrics.RoundStats` — round / message / congestion
   accounting, composable across sequential phases exactly the way the paper
   composes the steps of Algorithm 1.
+* :class:`~repro.congest.compressed.CompressedPhase` — the round-compressed
+  execution mode for fixed-schedule phases: declare the communication
+  schedule, evaluate the aggregate directly, and let
+  :meth:`~repro.congest.network.CongestNetwork.run_compressed` advance the
+  accounting analytically (bit-identical to a message-level run).
 
 Everything higher up in :mod:`repro` (broadcast primitives, Bellman–Ford,
 CSSSP construction, blocker sets, the pipelined Step-6 algorithms and the
 end-to-end APSP algorithms) runs on this engine.
 """
 
+from repro.congest.compressed import CompressedPhase, PhaseSchedule
 from repro.congest.message import Message
 from repro.congest.metrics import PhaseLog, RoundStats
 from repro.congest.network import BandwidthExceeded, CongestNetwork, NotANeighbor
@@ -32,11 +38,13 @@ from repro.congest.node import Ctx, NodeProgram
 
 __all__ = [
     "BandwidthExceeded",
+    "CompressedPhase",
     "CongestNetwork",
     "Ctx",
     "Message",
     "NodeProgram",
     "NotANeighbor",
+    "PhaseSchedule",
     "PhaseLog",
     "RoundStats",
 ]

@@ -1,0 +1,326 @@
+"""Round-compressed execution of fixed-schedule phases.
+
+Many of the paper's protocols are *fixed-schedule*: every node's send
+pattern — which rounds it sends in, along which tree edges, how many
+messages — is a function of the static tree shape alone, never of the
+data the messages carry.  Simulating such a phase through the message
+engine is pure overhead: the engine materializes every message, wakes
+every node every round, and validates traffic that is correct by
+construction.  At n = 256 the deterministic APSP spends ~90% of all
+rounds inside Step 2's fixed-schedule floods and convergecasts.
+
+:class:`CompressedPhase` is the alternative execution mode.  A phase
+declares its communication schedule — a :class:`PhaseSchedule` holding
+the rounds charged plus the per-node and per-edge send totals, all
+derived analytically from the tree shape — and evaluates its aggregate
+result directly, with vectorized numpy or plain bottom-up folds that
+replay the engine's delivery order exactly.
+:meth:`~repro.congest.network.CongestNetwork.run_compressed` then
+advances the engine's cumulative accounting by the declared schedule, so
+the resulting :class:`~repro.congest.metrics.RoundStats` are
+**bit-identical** to a message-level run: same round count, same message
+totals, same per-node congestion, and (under ``track_edges``) the same
+per-edge loads.  Floating-point aggregates replay the engine's exact
+combine order — children in ascending node id within a round, rounds in
+tick order — so even non-associative float sums match bit-for-bit.
+
+The message-level implementations stay in place as the strict oracle
+behind each primitive's ``compress`` flag;
+``tests/test_compressed_equivalence.py`` is the differential harness
+that proves the equivalence phase by phase, and
+``tests/test_compressed_schedule.py`` property-tests the schedule
+formulas below against engine runs on random trees.
+
+Soundness caveat: compressed evaluation assumes the tree state it reads
+is *subtree-consistent* (removals always detach whole subtrees — the
+invariant every pruning protocol in this repository maintains).  Phases
+whose schedule depends on message contents (adaptive protocols such as
+Bellman-Ford) cannot be compressed and always run through the engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.congest.metrics import RoundStats
+
+
+@dataclass
+class PhaseSchedule:
+    """The analytically-derived accounting of one fixed-schedule phase.
+
+    Exactly the quantities the engine would have measured: rounds charged
+    (last tick with a send, plus one), total messages, per-node send
+    totals (nodes with zero sends omitted, as the engine omits them) and
+    — when the network tracks edges — per-directed-edge send totals.
+    """
+
+    rounds: int = 0
+    messages: int = 0
+    per_node_sent: Dict[int, int] = field(default_factory=dict)
+    per_edge_sent: Optional[Dict[Tuple[int, int], int]] = None
+
+    def to_stats(self, label: str = "", track_edges: bool = False) -> RoundStats:
+        """Materialize the schedule as the phase's :class:`RoundStats`."""
+        per_edge: Dict[Tuple[int, int], int] = {}
+        if track_edges and self.per_edge_sent:
+            per_edge = {e: c for e, c in self.per_edge_sent.items() if c}
+        return RoundStats(
+            rounds=self.rounds,
+            messages=self.messages,
+            per_node_sent={v: c for v, c in self.per_node_sent.items() if c},
+            per_edge_sent=per_edge,
+            label=label,
+        )
+
+
+class CompressedPhase:
+    """Protocol for a phase executable without materializing messages.
+
+    Implementations declare the phase's communication schedule
+    (:meth:`schedule`) and compute its aggregate result directly
+    (:meth:`evaluate`); both receive the network so they can read the
+    adjacency and the ``track_edges`` flag.  The contract — enforced by
+    the differential harness — is that ``run_compressed(phase)`` returns
+    the same result and the same stats as running the phase's
+    message-level oracle through :meth:`CongestNetwork.run`.
+    """
+
+    label: str = ""
+
+    def schedule(self, net) -> PhaseSchedule:  # pragma: no cover - interface
+        """The phase's analytic :class:`PhaseSchedule` on ``net``."""
+        raise NotImplementedError
+
+    def evaluate(self, net):  # pragma: no cover - interface
+        """The phase's aggregate result (whatever the oracle computes)."""
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# schedule math shared by the ported phases (property-tested against the
+# engine in tests/test_compressed_schedule.py)
+
+
+def subtree_heights(children: Sequence[Sequence[int]], root: int) -> List[int]:
+    """``h[v]`` = height of ``v``'s subtree (0 at leaves), iteratively.
+
+    This is also the tick at which ``v``'s "my subtree is done" message
+    fires in the bottom-up half of the aggregation protocols (a leaf
+    reports in round 0; an internal node one round after its slowest
+    child).
+    """
+    n = len(children)
+    heights = [0] * n
+    order: List[int] = []
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        stack.extend(children[v])
+    for v in reversed(order):
+        if children[v]:
+            heights[v] = 1 + max(heights[c] for c in children[v])
+    return heights
+
+
+def max_internal_depth(
+    children: Sequence[Sequence[int]], depth: Sequence[int]
+) -> int:
+    """Deepest node that has children (-1 when every node is a leaf).
+
+    The downcast half of every tree protocol ends with this node's last
+    forward, so it closes all the round formulas below.
+    """
+    best = -1
+    for v, cs in enumerate(children):
+        if cs and depth[v] > best:
+            best = depth[v]
+    return best
+
+
+def aggregate_rounds(n: int, height: int, internal_depth: int) -> int:
+    """Rounds of one up-then-down tree aggregation (``2·height``-style).
+
+    The convergecast reaches the root in round ``height`` (leaves fire in
+    round 0, each internal node one round after its slowest child); the
+    root's answer is then forwarded without stalls, with the last send by
+    the deepest internal node at tick ``height + internal_depth``.
+    """
+    if n <= 1:
+        return 0
+    return height + internal_depth + 1
+
+
+def pipelined_sum_rounds(
+    n: int,
+    height: int,
+    n_comp: int,
+    internal_depth: int,
+    broadcast_result: bool,
+) -> int:
+    """Rounds of the Algorithm 11/12 pipelined sum of ``n_comp`` components.
+
+    A node at depth ``d`` sends component ``mu`` at tick
+    ``(height - d) + mu``; the last upward send is component
+    ``n_comp - 1`` from a depth-1 node.  With the result broadcast, the
+    root streams totals from tick ``height`` and the deepest internal
+    node forwards the last one at tick ``height + n_comp - 1 +
+    internal_depth``.
+    """
+    if n <= 1 or n_comp == 0:
+        return 0
+    if broadcast_result:
+        return height + n_comp + internal_depth
+    return height + n_comp - 1
+
+
+def bottom_up_order(
+    children: Sequence[Sequence[int]], root: int
+) -> List[int]:
+    """Nodes ordered children-before-parents (reverse preorder)."""
+    order: List[int] = []
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        stack.extend(children[v])
+    order.reverse()
+    return order
+
+
+def tree_wave_schedule(tree, track_edges: bool) -> PhaseSchedule:
+    """Schedule of one up-then-down wave over a spanning tree.
+
+    The accounting shared by the height convergecast and the generic
+    aggregation (`_AggregateProgram`): every non-root node sends one
+    message up, every node forwards the root's answer to each child, and
+    the last send is the deepest internal node's forward at tick
+    ``height + internal_depth``.
+    """
+    n = tree.n
+    if n <= 1:
+        return PhaseSchedule()
+    per_node = {}
+    for v in range(n):
+        sent = len(tree.children[v]) + (1 if v != tree.root else 0)
+        if sent:
+            per_node[v] = sent
+    per_edge = None
+    if track_edges:
+        per_edge = {}
+        for v in range(n):
+            if v != tree.root:
+                per_edge[(v, tree.parent[v])] = 1
+            for c in tree.children[v]:
+                per_edge[(v, c)] = 1
+    return PhaseSchedule(
+        rounds=aggregate_rounds(
+            n, tree.height, max_internal_depth(tree.children, tree.depth)
+        ),
+        messages=2 * (n - 1),
+        per_node_sent=per_node,
+        per_edge_sent=per_edge,
+    )
+
+
+def tree_arrays(tree):
+    """Numpy views of a :class:`~repro.csssp.collection.TreeView`'s rows.
+
+    Returns ``(parent, depth, live)`` — int64 parent/depth arrays and the
+    boolean live mask (in the tree and not detached) — the inputs every
+    vectorized per-tree schedule and evaluation starts from.
+    """
+    n = tree.n
+    parent = np.fromiter(tree.parent, dtype=np.int64, count=n)
+    depth = np.fromiter(tree.depth, dtype=np.int64, count=n)
+    live = (depth >= 0) & ~np.fromiter(tree.removed, dtype=bool, count=n)
+    return parent, depth, live
+
+
+def live_child_counts(
+    parent: "np.ndarray", live: "np.ndarray", n: int
+) -> "np.ndarray":
+    """``counts[v]`` = number of live children of ``v`` (vectorized)."""
+    senders = live & (parent >= 0)
+    return np.bincount(parent[senders], minlength=n)
+
+
+#: Sentinel for the end-of-stream marker in :func:`simulate_upcast`.
+_UD = object()
+
+
+def simulate_upcast(tree, items_per_node: Sequence[Sequence[tuple]]):
+    """Exact counter-level replay of the pipelined gather upcast.
+
+    The gather/broadcast protocol (Lemma A.2) is *almost* fixed-schedule:
+    send counts per round are 0 or 1, but a node's exact send ticks
+    depend on how its children's item streams interleave.  This replays
+    those dynamics with integer counters and FIFO queues — no message
+    objects, no engine — preserving the engine's delivery order (within
+    a round, arrivals land in ascending sender id).
+
+    Returns ``(collected, switch_tick, sends)``: the root's received
+    items in engine order, the tick at which the root switches to the
+    downcast, and each node's upcast send count (items forwarded plus
+    the end-of-stream marker).
+    """
+    n = tree.n
+    root = tree.root
+    parent = tree.parent
+    pend = [len(cs) for cs in tree.children]
+    collected: List[tuple] = list(items_per_node[root])
+    queues: List[Optional[deque]] = [None] * n
+    for v in range(n):
+        if v != root:
+            queues[v] = deque(items_per_node[v])
+    sends = [0] * n
+    todo = [v for v in range(n) if v != root]  # kept in ascending id order
+    inflight: List[Tuple[int, int, object]] = []  # (dst, src, payload)
+    switch_tick = 0
+    tick = 0
+    while todo or inflight:
+        for dst, _src, payload in inflight:
+            if payload is _UD:
+                pend[dst] -= 1
+                if dst == root and pend[dst] == 0:
+                    switch_tick = tick
+            elif dst == root:
+                collected.append(payload)
+            else:
+                queues[dst].append(payload)
+        inflight = []
+        still: List[int] = []
+        for v in todo:
+            q = queues[v]
+            if q:
+                inflight.append((parent[v], v, q.popleft()))
+                sends[v] += 1
+                still.append(v)
+            elif pend[v] == 0:
+                inflight.append((parent[v], v, _UD))
+                sends[v] += 1
+            else:
+                still.append(v)
+        todo = still
+        tick += 1
+    return collected, switch_tick, sends
+
+
+__all__ = [
+    "CompressedPhase",
+    "PhaseSchedule",
+    "aggregate_rounds",
+    "bottom_up_order",
+    "live_child_counts",
+    "max_internal_depth",
+    "pipelined_sum_rounds",
+    "simulate_upcast",
+    "subtree_heights",
+    "tree_arrays",
+    "tree_wave_schedule",
+]

@@ -146,6 +146,15 @@ class CongestNetwork:
         Additionally accumulate per-directed-edge send counts into the
         returned stats (off by default: it is the one remaining per-send
         dict update).
+    compress:
+        Default execution mode for fixed-schedule phases: when true, the
+        ported primitives run round-compressed (see
+        :mod:`repro.congest.compressed` and :meth:`run_compressed`)
+        instead of through the message engine.  Each primitive also takes
+        a per-call ``compress`` override, analogous to how ``strict``
+        selects the validation path globally.  Results and
+        :class:`RoundStats` are bit-identical in both modes; adaptive
+        phases always use the engine regardless of this flag.
     """
 
     def __init__(
@@ -155,6 +164,7 @@ class CongestNetwork:
         word_limit: int = 8,
         strict: bool = True,
         track_edges: bool = False,
+        compress: bool = False,
     ) -> None:
         self.graph = graph
         self.n: int = graph.n
@@ -162,6 +172,7 @@ class CongestNetwork:
         self.word_limit = word_limit
         self.strict = strict
         self.track_edges = track_edges
+        self.compress = compress
         self._adj: List[Sequence[int]] = [
             tuple(graph.und_neighbors(v)) for v in range(self.n)
         ]
@@ -203,6 +214,29 @@ class CongestNetwork:
     def neighbors(self, v: int) -> Sequence[int]:
         """Communication neighbors of ``v`` (underlying undirected graph)."""
         return self._adj[v]
+
+    # ------------------------------------------------------------------
+    def use_compressed(self, override: Optional[bool] = None) -> bool:
+        """Resolve a primitive's per-call ``compress`` flag against the default."""
+        return self.compress if override is None else bool(override)
+
+    def run_compressed(self, phase, label: str = ""):
+        """Execute a fixed-schedule phase analytically (no messages).
+
+        ``phase`` follows the :class:`repro.congest.compressed.CompressedPhase`
+        protocol: its declared :class:`~repro.congest.compressed.PhaseSchedule`
+        advances the round counter and :class:`RoundStats` exactly as the
+        message-level run would have, and its evaluation produces the same
+        aggregate result.  Returns ``(result, stats)`` and merges the stats
+        into :attr:`total`, mirroring :meth:`run`.
+        """
+        sched = phase.schedule(self)
+        result = phase.evaluate(self)
+        stats = sched.to_stats(
+            label=label or phase.label, track_edges=self.track_edges
+        )
+        self.total.merge(stats)
+        return result, stats
 
     # ------------------------------------------------------------------
     def _build_lookup(self) -> None:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.congest.compressed import CompressedPhase, PhaseSchedule
 from repro.congest.metrics import RoundStats
 from repro.congest.network import CongestNetwork
 from repro.congest.node import Ctx, NodeProgram
@@ -83,6 +84,76 @@ class _TruncateProgram(NodeProgram):
         self.active = self.kept and not self._sent
 
 
+class _CompressedTruncate(CompressedPhase):
+    """Round-compressed `_TruncateProgram`: chain-consistent kept flags.
+
+    The flood follows the Bellman-Ford parentage in hop order (the
+    chain-extension equality forces ``hops(parent) = hops(v) - 1``, so
+    the parent's announcement always lands exactly in ``v``'s firing
+    round), and every kept node with ``hops < h`` announces once to all
+    its neighbors.
+    """
+
+    def __init__(self, graph: Graph, res: SSSPResult, h: int,
+                 label: str) -> None:
+        self.graph = graph
+        self.res = res
+        self.h = h
+        self.label = label
+        self._kept: Optional[List[bool]] = None
+
+    def _solve(self) -> List[bool]:
+        if self._kept is not None:
+            return self._kept
+        graph, res, h = self.graph, self.res, self.h
+        n = graph.n
+        edges = graph.in_edges if not res.reverse else graph.out_edges
+        kept = [False] * n
+        kept[res.source] = True
+        order = sorted(
+            (v for v in range(n) if 0 < res.hops[v] <= h),
+            key=lambda v: res.hops[v],
+        )
+        for v in order:
+            p = res.parent[v]
+            if p < 0 or not kept[p] or res.hops[p] >= h:
+                continue
+            wt = next(((w, tb) for (u, w, tb) in edges(v) if u == p), None)
+            if wt is not None and add_cost(res.label[p], *wt) == res.label[v]:
+                kept[v] = True
+        self._kept = kept
+        return kept
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        kept = self._solve()
+        res, h = self.res, self.h
+        hops = res.hops
+        per_node: Dict[int, int] = {}
+        last_tick = -1
+        per_edge = {} if net.track_edges else None
+        for v, k in enumerate(kept):
+            if not k or hops[v] >= h:
+                continue
+            deg = len(net.neighbors(v))
+            if not deg:
+                continue
+            per_node[v] = deg
+            if hops[v] > last_tick:
+                last_tick = hops[v]
+            if per_edge is not None:
+                for u in net.neighbors(v):
+                    per_edge[(v, u)] = 1
+        return PhaseSchedule(
+            rounds=last_tick + 1,
+            messages=sum(per_node.values()),
+            per_node_sent=per_node,
+            per_edge_sent=per_edge,
+        )
+
+    def evaluate(self, net: CongestNetwork) -> List[bool]:
+        return self._solve()
+
+
 def build_csssp(
     net: CongestNetwork,
     graph: Graph,
@@ -90,33 +161,47 @@ def build_csssp(
     h: int,
     orientation: str = "out",
     label: str = "csssp",
+    compress: Optional[bool] = None,
 ) -> Tuple[CSSSPCollection, RoundStats]:
     """Build the ``h``-CSSSP (out) or ``h``-in-CSSSP for ``sources``.
 
     Returns the collection plus the composed round stats of every
-    construction phase.
+    construction phase.  ``compress`` selects the round-compressed
+    execution mode (default: the network's setting).
     """
     if h < 1:
         raise ValueError("h must be >= 1")
     reverse = orientation == "in"
+    compressed = net.use_compressed(compress)
     total = RoundStats(label=label)
     trees: Dict[int, TreeView] = {}
     for x in sources:
         res = bellman_ford(
-            net, graph, x, h=2 * h, reverse=reverse, label=f"{label}-bf({x})"
+            net, graph, x, h=2 * h, reverse=reverse, label=f"{label}-bf({x})",
+            compress=compress,
         )
         total.merge(res.rounds)
-        programs = [_TruncateProgram(v, graph, res, h) for v in range(graph.n)]
-        total.merge(net.run(programs, label=f"{label}-trunc({x})"))
+        if compressed:
+            kept, stats = net.run_compressed(
+                _CompressedTruncate(graph, res, h, f"{label}-trunc({x})")
+            )
+            total.merge(stats)
+        else:
+            programs = [
+                _TruncateProgram(v, graph, res, h) for v in range(graph.n)
+            ]
+            total.merge(net.run(programs, label=f"{label}-trunc({x})"))
+            kept = [p.kept for p in programs]
         parent = [-1] * graph.n
         depth = [-1] * graph.n
         dist = [float("inf")] * graph.n
         for v in range(graph.n):
-            if programs[v].kept:
+            if kept[v]:
                 depth[v] = res.hops[v]
                 dist[v] = res.dist[v]
                 parent[v] = res.parent[v]
-        children, nstats = notify_children(net, parent, label=f"{label}-kids({x})")
+        children, nstats = notify_children(net, parent, label=f"{label}-kids({x})",
+                                           compress=compress)
         total.merge(nstats)
         trees[x] = TreeView(
             root=x,

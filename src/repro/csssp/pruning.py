@@ -23,8 +23,9 @@ Two protocols, matching the two cost regimes in the papers:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.congest.compressed import CompressedPhase, PhaseSchedule
 from repro.congest.metrics import RoundStats
 from repro.congest.network import CongestNetwork
 from repro.congest.node import Ctx, NodeProgram
@@ -56,19 +57,93 @@ class _SequentialRemoveProgram(NodeProgram):
         self.active = False
 
 
+class _CompressedSubtreeRemove(CompressedPhase):
+    """Round-compressed `_SequentialRemoveProgram` for one tree.
+
+    The removal notice reaches a node ``fire`` rounds after its nearest
+    start ancestor fires (starts fire in round 0).  One engine-order
+    subtlety is replayed exactly: when a start sits directly under
+    another firing node, the notice to it is sent only if the sender is
+    processed first that round — i.e. never when the start fired in an
+    earlier round, and only for starts with a larger node id when both
+    fire in round 0.
+    """
+
+    def __init__(self, tree, starts: List[int], startset: Set[int],
+                 label: str) -> None:
+        self.tree = tree
+        self.starts = starts
+        self.startset = startset
+        self.label = label
+        self._fire: Optional[Dict[int, int]] = None
+
+    def _solve(self) -> Dict[int, int]:
+        if self._fire is None:
+            t = self.tree
+            fire: Dict[int, int] = {}
+            queue = deque(self.starts)
+            while queue:
+                v = queue.popleft()
+                if v in fire:
+                    continue
+                fire[v] = 0 if v in self.startset else fire[t.parent[v]] + 1
+                queue.extend(t.live_children(v))
+            self._fire = fire
+        return self._fire
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        t = self.tree
+        startset = self.startset
+        fire = self._solve()
+        removed = t.removed
+        per_node: Dict[int, int] = {}
+        per_edge = {} if net.track_edges else None
+        last_tick = -1
+        for u, f in fire.items():
+            sent = 0
+            for c in t.children[u]:
+                if removed[c]:
+                    continue
+                if c in startset and (f > 0 or c < u):
+                    continue  # the start detached itself before this send
+                sent += 1
+                if per_edge is not None:
+                    per_edge[(u, c)] = 1
+            if sent:
+                per_node[u] = sent
+                if f > last_tick:
+                    last_tick = f
+        return PhaseSchedule(
+            rounds=last_tick + 1,
+            messages=sum(per_node.values()),
+            per_node_sent=per_node,
+            per_edge_sent=per_edge,
+        )
+
+    def evaluate(self, net: CongestNetwork) -> None:
+        t = self.tree
+        for v in self._solve():
+            t.removed[v] = True
+        return None
+
+
 def remove_subtrees_sequential(
     net: CongestNetwork,
     coll: CSSSPCollection,
     roots: Iterable[int],
     label: str = "remove-subtrees",
+    compress: Optional[bool] = None,
 ) -> RoundStats:
     """Algorithm 6: detach subtrees rooted at ``roots`` in every tree.
 
     A root is removed from tree ``T_x`` only where it sits at depth >= 1
     (a node never "covers" the paths of its own tree from the root slot).
-    One flood phase per source, ``O(h)`` rounds each.
+    One flood phase per source, ``O(h)`` rounds each.  ``compress``
+    selects the round-compressed execution mode (default: the network's
+    setting).
     """
     rootset = set(roots)
+    compressed = net.use_compressed(compress)
     total = RoundStats(label=label)
     for x, t in coll.trees.items():
         starts = [
@@ -76,6 +151,15 @@ def remove_subtrees_sequential(
             for v in range(t.n)
         ]
         if not any(starts):
+            continue
+        if compressed:
+            start_nodes = [v for v in range(t.n) if starts[v]]
+            _, stats = net.run_compressed(
+                _CompressedSubtreeRemove(
+                    t, start_nodes, set(start_nodes), f"{label}({x})"
+                )
+            )
+            total.merge(stats)
             continue
         programs = [_SequentialRemoveProgram(v, t, starts[v]) for v in range(t.n)]
         total.merge(net.run(programs, label=f"{label}({x})"))

@@ -84,6 +84,15 @@ SWEEP_PRESETS: Dict[str, Dict[str, object]] = {
         "algorithms": ["det-n43"],
         "strict": False,
     },
+    # The same workloads with the fixed-schedule phases round-compressed
+    # (bit-identical records, just faster — see repro.congest.compressed).
+    "large-n-compressed": {
+        "families": ["er", "ws"],
+        "sizes": [128, 256],
+        "algorithms": ["det-n43", "rand-n43"],
+        "strict": False,
+        "compress": True,
+    },
 }
 
 

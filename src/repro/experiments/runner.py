@@ -46,7 +46,7 @@ def run_scenario(spec: ScenarioSpec, verify: bool = True) -> dict:
     """Run one scenario end-to-end and return its result record."""
     t0 = time.perf_counter()
     graph = make_graph(spec.family, spec.n, spec.seed, spec.weights)
-    net = CongestNetwork(graph, strict=spec.strict)
+    net = CongestNetwork(graph, strict=spec.strict, compress=spec.compress)
     if spec.algorithm == THREE_PHASE:
         result = three_phase_apsp(
             net,

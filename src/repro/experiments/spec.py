@@ -31,6 +31,10 @@ class ScenarioSpec:
     select the driver configuration (defaults: the paper's ``h = n^{1/3}``,
     derandomized blocker, pipelined delivery).  ``strict`` picks the engine
     mode: model-fidelity checks on, or the measured fast path.
+    ``compress`` additionally runs the fixed-schedule phases
+    round-compressed (:mod:`repro.congest.compressed`) — records and round
+    counts are bit-identical to the message-level run, so the axis only
+    affects wall-clock time.
     """
 
     family: str
@@ -42,6 +46,7 @@ class ScenarioSpec:
     blocker: Optional[str] = None
     delivery: Optional[str] = None
     strict: bool = True
+    compress: bool = False
 
     def __post_init__(self) -> None:
         if self.family not in GRAPH_FAMILIES:
@@ -100,6 +105,8 @@ class ScenarioSpec:
             parts.append(self.delivery)
         if not self.strict:
             parts.append("fast")
+        if self.compress:
+            parts.append("compressed")
         return "/".join(parts)
 
     @classmethod
@@ -135,6 +142,9 @@ class ScenarioMatrix:
     #: engine mode for every scenario (False = the measured fast path;
     #: the large-n presets in the registry set this)
     strict: bool = True
+    #: round-compressed fixed-schedule phases for every scenario
+    #: (bit-identical records; see :mod:`repro.congest.compressed`)
+    compress: bool = False
 
     def expand(self) -> List[ScenarioSpec]:
         """Concrete scenarios, in deterministic axis order, deduplicated."""
@@ -154,6 +164,7 @@ class ScenarioMatrix:
                     family=family, n=n, algorithm=algorithm, seed=seed,
                     weights=weights, h_exponent=h_exp, blocker=blocker,
                     delivery=delivery, strict=self.strict,
+                    compress=self.compress,
                 )
                 if spec.key not in seen:
                     seen.add(spec.key)

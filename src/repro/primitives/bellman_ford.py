@@ -26,6 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.congest.compressed import CompressedPhase, PhaseSchedule
 from repro.congest.metrics import RoundStats
 from repro.congest.network import CongestNetwork
 from repro.congest.node import Ctx, NodeProgram
@@ -162,6 +165,185 @@ class _BFProgram(NodeProgram):
         self.active = False  # wake again only on message delivery
 
 
+def _announce_arrays(net: CongestNetwork, graph: Graph, reverse: bool):
+    """CSR arrays of each node's announcements: targets, weights, keys.
+
+    For node ``v`` the slice ``off[v]:off[v+1]`` lists the nodes ``v``
+    announces to together with the (weight, tie-break) of the connecting
+    edge as the *receiver* sees it in its ``edge_in`` table.  Cached on
+    the network (one entry per graph and direction) so the hundreds of
+    per-source phases of Steps 1/3/7 build them once.
+    """
+    cache = getattr(net, "_bf_announce", None)
+    if cache is None:
+        cache = net._bf_announce = {}
+    key = (id(graph), reverse)
+    entry = cache.get(key)
+    if entry is not None and entry[0] is graph:
+        return entry[1]
+    edges = graph.in_edges if reverse else graph.out_edges
+    off = np.zeros(graph.n + 1, dtype=np.int64)
+    flat: List[Tuple[int, float, int]] = []
+    for v in range(graph.n):
+        flat.extend(edges(v))
+        off[v + 1] = len(flat)
+    dst = np.fromiter((e[0] for e in flat), dtype=np.int64, count=len(flat))
+    w = np.fromiter((e[1] for e in flat), dtype=np.float64, count=len(flat))
+    tb = np.fromiter((e[2] for e in flat), dtype=np.int64, count=len(flat))
+    cache[key] = (graph, (off, dst, w, tb))
+    return cache[key][1]
+
+
+class _CompressedBellmanFord(CompressedPhase):
+    """Central replay of the `_BFProgram` relaxation dynamics.
+
+    Bellman-Ford is adaptive (who sends when depends on the labels), but
+    its dynamics are deterministic, so the phase replays them exactly:
+    per round, the announcements of the previous round's improved nodes
+    are screened in one vectorized pass against each receiver's
+    round-start weight gate — the same gate `_BFProgram` applies, so the
+    screen is a superset of what the engine would accept — and only the
+    survivors go through the exact per-candidate update, in the engine's
+    delivery order (ascending sender id per receiver).  All arithmetic is
+    IEEE-754 double either way, so labels, parents, message counts and
+    round counts are bit-identical to the engine run.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        h: int,
+        reverse: bool,
+        inits: Dict[int, Cost],
+        fill_equal_parent: bool,
+        label: str,
+    ) -> None:
+        self.graph = graph
+        self.h = h
+        self.reverse = reverse
+        self.inits = inits
+        self.fill_equal = fill_equal_parent
+        self.label = label
+        self._solved = False
+        self._sched: Optional[PhaseSchedule] = None
+        self.labels: List[Cost] = []
+        self.parents: List[int] = []
+
+    def _solve(self, net: CongestNetwork) -> None:
+        if self._solved:
+            return
+        graph, h = self.graph, self.h
+        n = graph.n
+        off, dst_arr, w_arr, tb_arr = _announce_arrays(net, graph, self.reverse)
+        labels: List[Cost] = [INF_COST] * n
+        label0 = np.full(n, np.inf)
+        budget = [0] * n
+        parent = [-1] * n
+        times_sent = [0] * n
+        fill_equal = self.fill_equal
+        for v, init in self.inits.items():
+            if init is not None and init != INF_COST:
+                labels[v] = init
+                label0[v] = init[0]
+        senders = sorted(
+            v for v in self.inits if labels[v] != INF_COST
+        )
+        messages = 0
+        last_send = -1
+        tick = 0
+        while senders:
+            send_list = [v for v in senders if budget[v] < h]
+            if not send_list:
+                break
+            send_arr = np.asarray(send_list, dtype=np.int64)
+            degs = off[send_arr + 1] - off[send_arr]
+            round_msgs = int(degs.sum())
+            for v in send_list:
+                times_sent[v] += 1
+            if round_msgs:
+                last_send = tick
+                messages += round_msgs
+            # Snapshot the payloads: the engine fixes (label, budget) at
+            # send time, before any of this round's deliveries can touch
+            # the sender's own state.
+            pay = {v: (labels[v], budget[v]) for v in send_list}
+            # Flatten this round's announcements, senders in ascending id
+            # (= the engine's send order, hence per-receiver inbox order).
+            sel = np.concatenate(
+                [np.arange(off[v], off[v + 1]) for v in send_list]
+            ) if round_msgs else np.empty(0, dtype=np.int64)
+            dsts = dst_arr[sel]
+            d_rep = np.repeat(
+                np.fromiter((labels[v][0] for v in send_list),
+                            dtype=np.float64, count=len(send_list)),
+                degs,
+            )
+            cand_w = d_rep + w_arr[sel]
+            # Round-start gates: a candidate the engine would have examined
+            # always passes its receiver's *initial* gate (gates only
+            # tighten within a round), so this screen is a strict superset.
+            gate = label0 + 1e-9 * (1.0 + np.abs(label0))
+            alive = np.flatnonzero(cand_w <= gate[dsts])
+            improved: Dict[int, None] = {}
+            if len(alive):
+                srcs_l = np.repeat(send_arr, degs)[alive].tolist()
+                dsts_l = dsts[alive].tolist()
+                cw_l = cand_w[alive].tolist()
+                tb_l = tb_arr[sel[alive]].tolist()
+                for src, u, cw, tbe in zip(srcs_l, dsts_l, cw_l, tb_l):
+                    lab_s, b = pay[src]
+                    if b >= h:  # pragma: no cover - senders are pre-filtered
+                        continue
+                    lab_u = labels[u]
+                    if cw > lab_u[0] + 1e-9 * (1.0 + abs(lab_u[0])):
+                        continue  # the gate tightened mid-round
+                    cand: Cost = (cw, lab_s[1] + 1, lab_s[2] + tbe)
+                    if cand < lab_u:
+                        labels[u] = cand
+                        budget[u] = b + 1
+                        parent[u] = src
+                        improved[u] = None
+                    elif (
+                        fill_equal
+                        and parent[u] < 0
+                        and cand[1] == lab_u[1]
+                        and cand[2] == lab_u[2]
+                        and abs(cand[0] - lab_u[0])
+                        <= 1e-9 * (1.0 + abs(lab_u[0]))
+                    ):
+                        parent[u] = src
+            for u in improved:
+                label0[u] = labels[u][0]
+            senders = sorted(improved)
+            tick += 1
+        per_node = {v: times_sent[v] * int(off[v + 1] - off[v])
+                    for v in range(n) if times_sent[v] and off[v + 1] > off[v]}
+        per_edge = None
+        if net.track_edges:
+            per_edge = {}
+            for v, t in enumerate(times_sent):
+                if t:
+                    for u in dst_arr[off[v]:off[v + 1]].tolist():
+                        per_edge[(v, u)] = t
+        self._sched = PhaseSchedule(
+            rounds=last_send + 1,
+            messages=messages,
+            per_node_sent=per_node,
+            per_edge_sent=per_edge,
+        )
+        self.labels = labels
+        self.parents = parent
+        self._solved = True
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        self._solve(net)
+        return self._sched
+
+    def evaluate(self, net: CongestNetwork):
+        self._solve(net)
+        return self.labels, self.parents
+
+
 def bellman_ford(
     net: CongestNetwork,
     graph: Graph,
@@ -171,6 +353,7 @@ def bellman_ford(
     inits: Optional[Dict[int, Cost]] = None,
     fill_equal_parent: bool = False,
     label: str = "",
+    compress: Optional[bool] = None,
 ) -> SSSPResult:
     """Run one distributed (in- or out-) ``h``-hop Bellman-Ford phase.
 
@@ -190,18 +373,34 @@ def bellman_ford(
 
     Round cost: at most ``h + 1`` engine rounds (Lemma A.4's per-source
     ``O(h)``), message cost at most one label per directed edge per round.
+    ``compress`` selects the round-compressed execution mode (default:
+    the network's setting).
     """
     if h is None:
         h = graph.n - 1
     if inits is None:
         inits = {source: ZERO_COST}
+    phase_label = label or f"bf(src={source},h={h},{'in' if reverse else 'out'})"
+    if net.use_compressed(compress):
+        phase = _CompressedBellmanFord(
+            graph, h, reverse, inits, fill_equal_parent, phase_label
+        )
+        (labels, parents), stats = net.run_compressed(phase)
+        return SSSPResult(
+            source=source,
+            h=h,
+            reverse=reverse,
+            dist=[lab[0] for lab in labels],
+            hops=[lab[1] if lab != INF_COST else -1 for lab in labels],
+            parent=parents,
+            label=labels,
+            rounds=stats,
+        )
     programs = [
         _BFProgram(v, graph, h, reverse, inits.get(v), fill_equal_parent)
         for v in range(graph.n)
     ]
-    stats = net.run(
-        programs, label=label or f"bf(src={source},h={h},{'in' if reverse else 'out'})"
-    )
+    stats = net.run(programs, label=phase_label)
     return SSSPResult(
         source=source,
         h=h,
@@ -233,8 +432,36 @@ class _NotifyChildrenProgram(NodeProgram):
         self.active = False
 
 
+class _CompressedNotifyChildren(CompressedPhase):
+    """Round-compressed `_NotifyChildrenProgram`: one send per tree edge."""
+
+    def __init__(self, parent: Sequence[int], label: str) -> None:
+        self.parent = parent
+        self.label = label
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        senders = [v for v, p in enumerate(self.parent) if p >= 0]
+        per_edge = None
+        if net.track_edges:
+            per_edge = {(v, self.parent[v]): 1 for v in senders}
+        return PhaseSchedule(
+            rounds=1 if senders else 0,
+            messages=len(senders),
+            per_node_sent=dict.fromkeys(senders, 1),
+            per_edge_sent=per_edge,
+        )
+
+    def evaluate(self, net: CongestNetwork) -> List[List[int]]:
+        children: List[List[int]] = [[] for _ in range(net.n)]
+        for v, p in enumerate(self.parent):
+            if p >= 0:
+                children[p].append(v)  # ascending v = sorted
+        return children
+
+
 def notify_children(
-    net: CongestNetwork, parent: Sequence[int], label: str = "notify-children"
+    net: CongestNetwork, parent: Sequence[int], label: str = "notify-children",
+    compress: Optional[bool] = None,
 ) -> Tuple[List[List[int]], RoundStats]:
     """Make children lists local knowledge for one tree (1 round, 1 msg/edge).
 
@@ -242,6 +469,8 @@ def notify_children(
     a parent does not know its children; tree-flood algorithms (Compute-Pi,
     Remove-Subtrees, the count convergecasts) need them.  One round per tree.
     """
+    if net.use_compressed(compress):
+        return net.run_compressed(_CompressedNotifyChildren(parent, label))
     programs = [_NotifyChildrenProgram(v, parent) for v in range(net.n)]
     stats = net.run(programs, label=label)
     return [sorted(p.children) for p in programs], stats

@@ -16,9 +16,15 @@ pipelined convergecast (Algorithms 11/12).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.congest.compressed import (
+    CompressedPhase,
+    PhaseSchedule,
+    tree_wave_schedule,
+)
 from repro.congest.metrics import RoundStats
 from repro.congest.network import CongestNetwork
 from repro.congest.node import Ctx, NodeProgram
@@ -128,15 +134,109 @@ class _HeightProgram(NodeProgram):
         self.active = False  # wake again only on delivery
 
 
+class _CompressedBFSFlood(CompressedPhase):
+    """Round-compressed BFS flood: distances and min-id parents, directly.
+
+    Every reachable node announces once — in round ``depth(v)``, to every
+    neighbor — so the schedule is one send per incident directed edge and
+    the flood ends one round after the most eccentric announcement.
+    """
+
+    label = "bfs-tree"
+
+    def __init__(self, root: int) -> None:
+        self.root = root
+        self.depth: Optional[List[int]] = None
+        self.parent: Optional[List[int]] = None
+        self.children: Optional[List[List[int]]] = None
+
+    def _solve(self, net: CongestNetwork) -> None:
+        if self.depth is not None:
+            return
+        n = net.n
+        depth = [-1] * n
+        depth[self.root] = 0
+        frontier = deque([self.root])
+        while frontier:
+            v = frontier.popleft()
+            for u in net.neighbors(v):
+                if depth[u] < 0:
+                    depth[u] = depth[v] + 1
+                    frontier.append(u)
+        parent = [-1] * n
+        children: List[List[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            if v == self.root or depth[v] < 0:
+                continue
+            # The engine adopts the min-id announcer among the first
+            # announcements heard — i.e. the smallest neighbor one BFS
+            # level closer to the root.
+            parent[v] = min(
+                u for u in net.neighbors(v) if depth[u] == depth[v] - 1
+            )
+            children[parent[v]].append(v)
+        self.depth = depth
+        self.parent = parent
+        self.children = [sorted(cs) for cs in children]
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        self._solve(net)
+        per_node = {
+            v: len(net.neighbors(v))
+            for v in range(net.n)
+            if self.depth[v] >= 0 and net.neighbors(v)
+        }
+        per_edge = None
+        if net.track_edges:
+            per_edge = {
+                (v, u): 1
+                for v in per_node
+                for u in net.neighbors(v)
+            }
+        reached_depths = [d for d in self.depth if d >= 0]
+        return PhaseSchedule(
+            rounds=max(reached_depths) + 1 if per_node else 0,
+            messages=sum(per_node.values()),
+            per_node_sent=per_node,
+            per_edge_sent=per_edge,
+        )
+
+    def evaluate(self, net: CongestNetwork):
+        self._solve(net)
+        return self.parent, self.depth, self.children
+
+
+class _CompressedTreeWave(CompressedPhase):
+    """Round-compressed `_HeightProgram`: one up-then-down tree wave.
+
+    The schedule is the shared
+    :func:`~repro.congest.compressed.tree_wave_schedule`; the evaluation
+    is the tree height the builder already knows.
+    """
+
+    def __init__(self, tree: BFSTree, label: str) -> None:
+        self.tree = tree
+        self.label = label
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        return tree_wave_schedule(self.tree, net.track_edges)
+
+    def evaluate(self, net: CongestNetwork):
+        return self.tree.height
+
+
 def build_bfs_tree(
-    net: CongestNetwork, root: int = 0
+    net: CongestNetwork, root: int = 0, compress: Optional[bool] = None
 ) -> Tuple[BFSTree, RoundStats]:
     """Build a BFS tree rooted at ``root`` and make ``height`` local knowledge.
 
     Round cost: ``O(D)`` (flooding) plus ``O(D)`` for the height
     convergecast/downcast — well inside the ``O(n)`` the paper charges for
-    its BFS-tree step (Lemma 3.12 proof).
+    its BFS-tree step (Lemma 3.12 proof).  ``compress`` selects the
+    round-compressed execution mode (default: the network's setting).
     """
+    if net.use_compressed(compress):
+        return _build_bfs_tree_compressed(net, root)
     programs = [_BFSProgram(v, root) for v in range(net.n)]
     stats = net.run(programs, label="bfs-tree")
     parent = [p.parent for p in programs]
@@ -158,6 +258,25 @@ def build_bfs_tree(
         p.height == tree.height for p in hprogs
     ), "height convergecast diverged from tree bookkeeping"
     return tree, stats
+
+
+def _build_bfs_tree_compressed(
+    net: CongestNetwork, root: int
+) -> Tuple[BFSTree, RoundStats]:
+    """Round-compressed :func:`build_bfs_tree` (flood + height wave)."""
+    flood = _CompressedBFSFlood(root)
+    (parent, depth, children), stats = net.run_compressed(flood)
+    if any(d < 0 for d in depth):
+        raise ValueError("communication graph is disconnected")
+    tree = BFSTree(
+        root=root,
+        parent=parent,
+        depth=depth,
+        children=children,
+        height=max(depth),
+    )
+    _, hstats = net.run_compressed(_CompressedTreeWave(tree, "bfs-height"))
+    return tree, stats + hstats
 
 
 __all__ = ["BFSTree", "build_bfs_tree"]

@@ -17,6 +17,12 @@ from __future__ import annotations
 from collections import deque
 from typing import List, Optional, Sequence, Tuple
 
+from repro.congest.compressed import (
+    CompressedPhase,
+    PhaseSchedule,
+    max_internal_depth,
+    simulate_upcast,
+)
 from repro.congest.metrics import RoundStats
 from repro.congest.network import CongestNetwork
 from repro.congest.node import Ctx, NodeProgram
@@ -93,18 +99,90 @@ class _GatherBroadcastProgram(NodeProgram):
         self.active = bool(self.upq) or bool(self.downq) or not self._sent_ud
 
 
+class _CompressedGatherBroadcast(CompressedPhase):
+    """Round-compressed `_GatherBroadcastProgram` (Lemmas A.1 / A.2).
+
+    The upcast half is replayed at counter cost by
+    :func:`~repro.congest.compressed.simulate_upcast` (its send ticks
+    depend on how child streams interleave, so it is simulated rather
+    than solved in closed form — still with zero engine overhead); the
+    downcast half is fully fixed-schedule: the root streams the ``K``
+    collected items plus the end marker from the switch tick onward, and
+    every internal node forwards each record one round after receipt.
+    """
+
+    def __init__(
+        self,
+        tree: BFSTree,
+        items_per_node: Sequence[Sequence[tuple]],
+        label: str,
+    ) -> None:
+        self.tree = tree
+        self.items = items_per_node
+        self.label = label
+        self._collected: Optional[List[tuple]] = None
+        self._switch_tick = 0
+        self._up_sends: Optional[List[int]] = None
+
+    def _solve(self) -> None:
+        if self._collected is None:
+            self._collected, self._switch_tick, self._up_sends = simulate_upcast(
+                self.tree, self.items
+            )
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        self._solve()
+        tree = self.tree
+        n = tree.n
+        if n <= 1:
+            return PhaseSchedule()
+        down = len(self._collected) + 1  # every item plus the end marker
+        per_node = {}
+        for v in range(n):
+            sent = self._up_sends[v] + down * len(tree.children[v])
+            if sent:
+                per_node[v] = sent
+        per_edge = None
+        if net.track_edges:
+            per_edge = {}
+            for v in range(n):
+                if v != tree.root and self._up_sends[v]:
+                    per_edge[(v, tree.parent[v])] = self._up_sends[v]
+                for c in tree.children[v]:
+                    per_edge[(v, c)] = down
+        return PhaseSchedule(
+            rounds=self._switch_tick
+            + down
+            + max_internal_depth(tree.children, tree.depth),
+            messages=sum(self._up_sends) + down * (n - 1),
+            per_node_sent=per_node,
+            per_edge_sent=per_edge,
+        )
+
+    def evaluate(self, net: CongestNetwork) -> List[List[tuple]]:
+        self._solve()
+        return [list(self._collected) for _ in range(self.tree.n)]
+
+
 def gather_and_broadcast(
     net: CongestNetwork,
     tree: BFSTree,
     items_per_node: Sequence[Sequence[tuple]],
     label: str = "broadcast-all",
+    compress: Optional[bool] = None,
 ) -> Tuple[List[List[tuple]], RoundStats]:
     """Every node contributes items; afterwards every node knows all items.
 
     The engine-level realization of Lemma A.2 (and of Lemma A.1 when only
     one node contributes).  Returns per-node received lists (identical
-    content, root-determined order) and the phase stats.
+    content, root-determined order) and the phase stats.  ``compress``
+    selects the round-compressed execution mode (default: the network's
+    setting).
     """
+    if net.use_compressed(compress):
+        return net.run_compressed(
+            _CompressedGatherBroadcast(tree, items_per_node, label)
+        )
     programs = [
         _GatherBroadcastProgram(v, tree, items_per_node[v]) for v in range(net.n)
     ]
@@ -122,11 +200,13 @@ def broadcast_from_root(
     tree: BFSTree,
     items: Sequence[tuple],
     label: str = "broadcast-root",
+    compress: Optional[bool] = None,
 ) -> Tuple[List[List[tuple]], RoundStats]:
     """Lemma A.1 specialized to the tree root: downcast ``k`` items."""
     per_node: List[Sequence[tuple]] = [[] for _ in range(net.n)]
     per_node[tree.root] = list(items)
-    return gather_and_broadcast(net, tree, per_node, label=label)
+    return gather_and_broadcast(net, tree, per_node, label=label,
+                                compress=compress)
 
 
 __all__ = ["broadcast_from_root", "gather_and_broadcast"]

@@ -19,6 +19,17 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.congest.compressed import (
+    CompressedPhase,
+    PhaseSchedule,
+    bottom_up_order,
+    max_internal_depth,
+    pipelined_sum_rounds,
+    subtree_heights,
+    tree_wave_schedule,
+)
 from repro.congest.metrics import RoundStats
 from repro.congest.network import CongestNetwork
 from repro.congest.node import Ctx, NodeProgram
@@ -67,18 +78,64 @@ class _AggregateProgram(NodeProgram):
         self.active = False
 
 
+class _CompressedAggregate(CompressedPhase):
+    """Round-compressed `_AggregateProgram`: fold bottom-up, engine order.
+
+    The fold replays the oracle's combine order exactly: a node combines
+    its children's accumulators in arrival order — ascending ``(fire
+    tick, id)``, where a child's fire tick is its subtree height — so
+    non-commutative-in-floats combines still produce the identical
+    result.
+    """
+
+    def __init__(
+        self,
+        tree: BFSTree,
+        values: Sequence[Value],
+        combine: Callable[[Value, Value], Value],
+        label: str,
+    ) -> None:
+        self.tree = tree
+        self.values = values
+        self.combine = combine
+        self.label = label
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        # Identical traffic shape to the height wave: one message up per
+        # non-root node, the answer forwarded down every child edge.
+        return tree_wave_schedule(self.tree, net.track_edges)
+
+    def evaluate(self, net: CongestNetwork) -> Value:
+        tree = self.tree
+        fire = subtree_heights(tree.children, tree.root)
+        acc: List[Optional[Value]] = [None] * tree.n
+        for v in bottom_up_order(tree.children, tree.root):
+            value = self.values[v]
+            for c in sorted(tree.children[v], key=lambda c: (fire[c], c)):
+                value = self.combine(value, acc[c])
+            acc[v] = value
+        return acc[tree.root]
+
+
 def aggregate_and_broadcast(
     net: CongestNetwork,
     tree: BFSTree,
     values: Sequence[Value],
     combine: Callable[[Value, Value], Value],
     label: str = "aggregate",
+    compress: Optional[bool] = None,
 ) -> Tuple[Value, RoundStats]:
     """Combine one constant-size tuple per node; everyone learns the result.
 
     ``combine`` must be associative and commutative (sum, max, lexicographic
-    max-with-id, ...).  Cost: at most ``2·height + 2`` rounds.
+    max-with-id, ...).  Cost: at most ``2·height + 2`` rounds.  ``compress``
+    selects the round-compressed execution mode (default: the network's
+    setting).
     """
+    if net.use_compressed(compress):
+        return net.run_compressed(
+            _CompressedAggregate(tree, values, combine, label)
+        )
     programs = [_AggregateProgram(v, tree, values[v], combine) for v in range(net.n)]
     stats = net.run(programs, label=label)
     result = programs[tree.root].result
@@ -162,22 +219,97 @@ class _PipelinedSumProgram(NodeProgram):
         self.active = ctx.round < last_tick
 
 
+class _CompressedPipelinedSum(CompressedPhase):
+    """Round-compressed `_PipelinedSumProgram`: one numpy add per tree edge.
+
+    The oracle accumulates each component with Python-float adds, children
+    in ascending id; numpy float64 row adds in the same bottom-up order
+    perform the identical IEEE-754 operations, so the totals are
+    bit-identical while all ``N`` components ride one vectorized add per
+    edge instead of ``N`` messages.
+    """
+
+    def __init__(
+        self,
+        tree: BFSTree,
+        vectors: Sequence[Sequence[float]],
+        broadcast_result: bool,
+        label: str,
+    ) -> None:
+        self.tree = tree
+        self.vectors = vectors
+        self.bcast = broadcast_result
+        self.label = label
+        self.n_comp = len(vectors[0]) if len(vectors) else 0
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        tree = self.tree
+        n = tree.n
+        n_comp = self.n_comp
+        if n <= 1 or n_comp == 0:
+            return PhaseSchedule()
+        per_node = {}
+        for v in range(n):
+            sent = n_comp if v != tree.root else 0
+            if self.bcast:
+                sent += n_comp * len(tree.children[v])
+            if sent:
+                per_node[v] = sent
+        per_edge = None
+        if net.track_edges:
+            per_edge = {}
+            for v in range(n):
+                if v != tree.root:
+                    per_edge[(v, tree.parent[v])] = n_comp
+                if self.bcast:
+                    for c in tree.children[v]:
+                        per_edge[(v, c)] = n_comp
+        messages = (n - 1) * n_comp * (2 if self.bcast else 1)
+        return PhaseSchedule(
+            rounds=pipelined_sum_rounds(
+                n,
+                tree.height,
+                n_comp,
+                max_internal_depth(tree.children, tree.depth),
+                self.bcast,
+            ),
+            messages=messages,
+            per_node_sent=per_node,
+            per_edge_sent=per_edge,
+        )
+
+    def evaluate(self, net: CongestNetwork) -> List[float]:
+        tree = self.tree
+        acc = np.array(self.vectors, dtype=np.float64)
+        for v in bottom_up_order(tree.children, tree.root):
+            for c in sorted(tree.children[v]):
+                acc[v] += acc[c]
+        return acc[tree.root].tolist()
+
+
 def pipelined_vector_sum(
     net: CongestNetwork,
     tree: BFSTree,
     vectors: Sequence[Sequence[float]],
     broadcast_result: bool = False,
     label: str = "pipelined-sum",
+    compress: Optional[bool] = None,
 ) -> Tuple[List[float], RoundStats]:
     """Sum per-node vectors component-wise at the root (Algorithms 11/12).
 
     Cost: ``height + N`` rounds for ``N`` components, plus another
     ``height + N`` when ``broadcast_result`` — the ``O(n)`` bound of
-    Lemmas A.13/A.14 since ``N = O(n)`` sample points there.
+    Lemmas A.13/A.14 since ``N = O(n)`` sample points there.  ``compress``
+    selects the round-compressed execution mode (default: the network's
+    setting).
     """
     widths = {len(vec) for vec in vectors}
     if len(widths) != 1:
         raise ValueError("all nodes must hold vectors of the same length")
+    if net.use_compressed(compress):
+        return net.run_compressed(
+            _CompressedPipelinedSum(tree, vectors, broadcast_result, label)
+        )
     programs = [
         _PipelinedSumProgram(v, tree, vectors[v], broadcast_result)
         for v in range(net.n)

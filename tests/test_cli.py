@@ -61,6 +61,25 @@ def test_unknown_family_rejected():
         make_graph("torus", 16, 0)
 
 
+def test_sweep_unknown_preset_lists_available(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["sweep", "--preset", "does-not-exist"])
+    message = str(exc.value)
+    assert "unknown preset 'does-not-exist'" in message
+    assert "available presets:" in message
+    # every real preset is named in the error, so the fix is discoverable
+    for name in ("quick", "paper-small", "large-n", "large-n-compressed"):
+        assert name in message
+
+
+def test_sweep_compressed_flag_runs_compressed_scenarios(capsys):
+    rc = main(["sweep", "--families", "er", "--sizes", "10",
+               "--algorithms", "naive-bf", "--seeds", "1", "--compressed"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "/compressed" in out  # the scenario label carries the mode
+
+
 def test_sweep_rejects_misplaced_driver_flags(capsys):
     with pytest.raises(SystemExit):
         main(["sweep", "--sizes", "10", "--algorithms", "naive-bf",

@@ -1,0 +1,158 @@
+"""Property tests for the convergecast schedule math.
+
+The round formulas in :mod:`repro.congest.compressed`
+(:func:`aggregate_rounds`, :func:`pipelined_sum_rounds`, the upcast
+simulator) claim to predict the engine's round accounting from the tree
+shape alone.  Here random trees — arbitrary shapes, heights and batch
+sizes, not just BFS trees of nice graphs — are run through both paths:
+the compressed formula must equal the simulated (message-level) rounds,
+message counts and per-node sends on every tree.
+
+Generators follow the hand-rolled seeded-random idiom of
+``tests/test_closure.py``; a hypothesis block widens the net when
+hypothesis is installed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.blocker.scores import subtree_sums
+from repro.congest.compressed import (
+    aggregate_rounds,
+    max_internal_depth,
+    pipelined_sum_rounds,
+    subtree_heights,
+)
+from repro.congest.network import CongestNetwork
+from repro.csssp.collection import CSSSPCollection, TreeView
+from repro.graphs.spec import Graph
+from repro.primitives.bfs import BFSTree
+from repro.primitives.broadcast import gather_and_broadcast
+from repro.primitives.convergecast import (
+    aggregate_and_broadcast,
+    pipelined_vector_sum,
+)
+
+
+def random_tree(seed: int, max_n: int = 24):
+    """A random rooted tree as (communication graph, BFSTree-style record).
+
+    Node ``v >= 1`` attaches to a uniformly random earlier node, so
+    shapes range from paths (height n-1) to stars (height 1) — the tree
+    need not be a BFS tree of anything for the engine to run it.
+    """
+    rng = random.Random(seed)
+    n = rng.randint(1, max_n)
+    parent = [-1] * n
+    depth = [0] * n
+    children = [[] for _ in range(n)]
+    for v in range(1, n):
+        p = rng.randrange(v) if rng.random() < 0.7 else v - 1
+        parent[v] = p
+        depth[v] = depth[p] + 1
+        children[p].append(v)
+    graph = Graph(
+        n,
+        [(v, parent[v], 1.0 + (v % 3)) for v in range(1, n)],
+        seed=seed,
+    )
+    tree = BFSTree(root=0, parent=parent, depth=depth,
+                   children=[sorted(c) for c in children],
+                   height=max(depth))
+    return graph, tree, rng
+
+
+def stats_tuple(stats):
+    return (stats.rounds, stats.messages, stats.per_node_sent)
+
+
+def check_tree(seed: int) -> None:
+    graph, tree, rng = random_tree(seed)
+    net_m = CongestNetwork(graph, bandwidth=2)
+    net_c = CongestNetwork(graph, bandwidth=2, compress=True)
+
+    # aggregate: formula rounds == engine rounds, result bit-identical
+    values = [(rng.uniform(-1, 1), v) for v in range(graph.n)]
+    res_m, s_m = aggregate_and_broadcast(
+        net_m, tree, values, lambda a, b: (a[0] + b[0], max(a[1], b[1])))
+    res_c, s_c = aggregate_and_broadcast(
+        net_c, tree, values, lambda a, b: (a[0] + b[0], max(a[1], b[1])))
+    assert res_m == res_c
+    assert stats_tuple(s_m) == stats_tuple(s_c)
+    dint = max_internal_depth(tree.children, tree.depth)
+    assert s_m.rounds == aggregate_rounds(graph.n, tree.height, dint)
+
+    # pipelined sum: every batch size, both result modes
+    for n_comp in (0, 1, rng.randint(2, 9)):
+        vectors = [[rng.uniform(0, 5) for _ in range(n_comp)]
+                   for _ in range(graph.n)]
+        for bcast in (False, True):
+            t_m, p_m = pipelined_vector_sum(net_m, tree, vectors, bcast)
+            t_c, p_c = pipelined_vector_sum(net_c, tree, vectors, bcast)
+            assert t_m == t_c
+            assert stats_tuple(p_m) == stats_tuple(p_c)
+            assert p_m.rounds == pipelined_sum_rounds(
+                graph.n, tree.height, n_comp, dint, bcast)
+
+    # gather/broadcast: the upcast simulator against the engine
+    items = [[(v, i) for i in range(rng.randrange(0, 3))]
+             for v in range(graph.n)]
+    r_m, g_m = gather_and_broadcast(net_m, tree, items)
+    r_c, g_c = gather_and_broadcast(net_c, tree, items)
+    assert r_m == r_c
+    assert stats_tuple(g_m) == stats_tuple(g_c)
+
+    # subtree-sum convergecast on a TreeView with random prunes and a
+    # random hop budget h >= height (the CSSSP invariant)
+    h = tree.height + rng.randint(0, 3)
+    view = TreeView(root=0, parent=list(tree.parent), depth=list(tree.depth),
+                    dist=[float(d) for d in tree.depth],
+                    children=[list(c) for c in tree.children],
+                    removed=[False] * graph.n)
+    for _ in range(rng.randrange(0, 3)):
+        z = rng.randrange(graph.n)
+        if view.depth[z] >= 1 and not view.removed[z]:
+            view.mark_removed(z)
+    coll = CSSSPCollection(graph, max(h, 1), {0: view})
+    values = [rng.uniform(0, 3) for _ in range(graph.n)]
+    u_m, q_m = subtree_sums(net_m, coll, 0, values)
+    u_c, q_c = subtree_sums(net_c, coll, 0, values)
+    assert u_m == u_c
+    assert stats_tuple(q_m) == stats_tuple(q_c)
+
+    # the subtree-height helper agrees with the tree's own bookkeeping
+    heights = subtree_heights(tree.children, tree.root)
+    assert heights[tree.root] == tree.height
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_schedule_formulas_on_random_trees(seed):
+    check_tree(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(15, 60))
+def test_schedule_formulas_on_random_trees_full(seed):
+    check_tree(seed)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis property test (skipped when hypothesis is not installed)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - CI installs numpy+pytest only
+    HAVE_HYPOTHESIS = False
+
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_property_schedule_formulas(seed):
+        check_tree(seed)
