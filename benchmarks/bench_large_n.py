@@ -1,26 +1,35 @@
 """L1 — large-n throughput: rounds/sec and wall-clock vs the seed engine.
 
 The large-n presets (``repro sweep --preset large-n``) push the
-deterministic APSP to n in the hundreds; this bench tracks the three
-numbers that make those sweeps feasible:
+deterministic APSP to n in the hundreds; this bench tracks the numbers
+that make those sweeps feasible:
 
 * **engine throughput** — simulated CONGEST rounds per second of the full
   deterministic-APSP run, on the vectorized strict engine, the fast path,
-  the round-compressed mode (``compress=True``, bit-identical records and
-  round counts — see :mod:`repro.congest.compressed`), and (at the
+  the per-phase round-compressed mode (``compress=True, batch=False`` —
+  the PR-3 baseline), the batched compressed pipeline (``compress=True``,
+  the default: batched Step-1/3/7 Bellman-Ford, compressed Step-6
+  delivery pipeline, multi-tree convergecast batches), and (at the
   smallest size) the frozen seed engine's run loop;
-* **compressed equivalence + speedup** — the compressed run must hash
+* **compressed equivalence + speedups** — every compressed mode must hash
   identically to the fast run (distances, predecessors, rounds,
-  messages), and at n=256 it must clear >= 3x the fast path's
-  rounds/sec (the ISSUE 3 acceptance bar);
+  messages); at n=256 the batched pipeline must clear >= 3x the fast
+  path's rounds/sec (the ISSUE 3 bar) *and* >= 2x the per-phase
+  compressed baseline's wall clock (the ISSUE 4 bar), measured as
+  interleaved gc-paused CPU-time medians so co-tenant noise cancels;
 * **Step-5 closure** — wall-clock of the numpy blocked min-plus closure
   vs the retained Python oracle, with a bit-identical-records check.
 
+Every run also appends a machine-readable
+``benchmarks/results/BENCH_large_n.json`` (wall seconds and rounds/sec
+per engine mode plus the measured speedup ratios) so the perf trajectory
+is tracked from PR 4 on.
+
 ``--smoke`` runs the CI-sized subset: the n=64 engine comparison plus a
-full n=128 deterministic-APSP run under both closure backends and both
+full n=128 deterministic-APSP run under both closure backends and all
 execution modes, asserting the records identical (the sweep smoke job
-wires this in).  The full run adds n=256 (with the 3x assertion) and the
-seed engine at n=128.
+wires this in).  The full run adds n=256 (with both speedup assertions)
+and the seed engine at n=128.
 
 Usage::
 
@@ -32,10 +41,13 @@ or through pytest-benchmark: ``pytest benchmarks/bench_large_n.py``.
 from __future__ import annotations
 
 import argparse
+import gc
 import hashlib
+import json
+import statistics
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -44,12 +56,19 @@ from repro.apsp import deterministic_apsp
 from repro.congest.network import CongestNetwork
 from repro.experiments.registry import make_graph
 
-from _common import emit, once
+from _common import RESULTS_DIR, emit, once
 from bench_engine_fastpath import SeedCongestNetwork
 
 SEED = 1
 SMOKE_SIZES = [64, 128]
 FULL_SIZES = [64, 128, 256]
+
+JSON_PATH = RESULTS_DIR / "BENCH_large_n.json"
+
+#: Engine execution modes measured per size (seed is added at the
+#: smallest size; "compressed-phase" is the PR-3 per-phase baseline the
+#: batched pipeline is asserted against).
+ENGINES = ["strict", "fast", "compressed-phase", "compressed"]
 
 
 def _dist_hash(dist: np.ndarray) -> str:
@@ -67,28 +86,81 @@ def _record_hash(result) -> str:
 #: The ISSUE 3 acceptance bar: compressed rounds/sec at n=256 vs fast.
 COMPRESSED_MIN_SPEEDUP = 3.0
 
+#: The ISSUE 4 acceptance bar: the batched compressed pipeline's wall
+#: clock at n=256 vs the per-phase compressed (PR-3) baseline.
+BATCHED_MIN_SPEEDUP = 2.0
+
+#: Interleaved repetitions for the baseline-vs-batched CPU-time medians.
+RATIO_REPS = 3
+
+
+def make_net(graph, engine: str):
+    if engine == "seed":
+        return SeedCongestNetwork(graph)
+    if engine == "strict":
+        return CongestNetwork(graph)
+    if engine == "compressed":
+        return CongestNetwork(graph, strict=False, compress=True)
+    if engine == "compressed-phase":
+        return CongestNetwork(graph, strict=False, compress=True, batch=False)
+    return CongestNetwork(graph, strict=False)
+
 
 def run_apsp(graph, engine: str, closure: str = "auto"):
     """One deterministic-APSP run; returns (result, wall seconds)."""
-    if engine == "seed":
-        net = SeedCongestNetwork(graph)
-    elif engine == "strict":
-        net = CongestNetwork(graph)
-    elif engine == "compressed":
-        net = CongestNetwork(graph, strict=False, compress=True)
-    else:
-        net = CongestNetwork(graph, strict=False)
+    net = make_net(graph, engine)
     t0 = time.perf_counter()
     result = deterministic_apsp(net, graph, closure=closure)
     return result, time.perf_counter() - t0
 
 
-def large_n_report(sizes: List[int], smoke: bool) -> str:
+def _cpu_run(graph, engine: str) -> float:
+    """gc-paused CPU seconds of one run (for the interleaved medians)."""
+    net = make_net(graph, engine)
+    gc.disable()
+    try:
+        t0 = time.process_time()
+        deterministic_apsp(net, graph)
+        return time.process_time() - t0
+    finally:
+        gc.enable()
+        gc.collect()
+
+
+def batched_speedup(graph) -> float:
+    """Median CPU-time ratio: per-phase compressed baseline / batched.
+
+    Interleaved repetitions with gc paused, so background load and
+    allocator state perturb both modes alike.
+    """
+    base: List[float] = []
+    batched: List[float] = []
+    for _ in range(RATIO_REPS):
+        base.append(_cpu_run(graph, "compressed-phase"))
+        batched.append(_cpu_run(graph, "compressed"))
+    return statistics.median(base) / statistics.median(batched)
+
+
+def write_json(rows: List[dict], speedups: Dict[str, float]) -> None:
+    """Persist the machine-readable perf record for trend tracking."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    JSON_PATH.write_text(json.dumps({
+        "bench": "large_n",
+        "schema": 1,
+        "seed": SEED,
+        "rows": rows,
+        "speedups": speedups,
+    }, indent=2) + "\n")
+
+
+def large_n_report(sizes: List[int], smoke: bool):
     rows = []
+    json_rows: List[dict] = []
+    speedups: Dict[str, float] = {}
     baseline = {}
     for n in sizes:
         graph = make_graph("er", n, SEED)
-        engines = ["strict", "fast", "compressed"]
+        engines = list(ENGINES)
         if n == sizes[0] or (not smoke and n <= 128):
             engines.insert(0, "seed")
         fast = {}
@@ -104,21 +176,22 @@ def large_n_report(sizes: List[int], smoke: bool) -> str:
                     "messages": result.stats.messages,
                     "hash": _record_hash(result),
                 }
-            if engine == "compressed":
-                # The compressed mode must be an *equivalent* execution:
+            if engine.startswith("compressed"):
+                # Every compressed mode must be an *equivalent* execution:
                 # identical records and identical round accounting.
                 assert rounds == fast["rounds"], (
-                    f"compressed rounds diverged at n={n}: "
+                    f"{engine} rounds diverged at n={n}: "
                     f"{rounds} != {fast['rounds']}"
                 )
                 assert result.stats.messages == fast["messages"], (
-                    f"compressed messages diverged at n={n}"
+                    f"{engine} messages diverged at n={n}"
                 )
                 assert _record_hash(result) == fast["hash"], (
-                    f"compressed records diverged at n={n}"
+                    f"{engine} records diverged at n={n}"
                 )
-                if n >= 256:
+                if engine == "compressed" and n >= 256:
                     speed = fast["wall"] / wall
+                    speedups["compressed_vs_fast"] = speed
                     assert speed >= COMPRESSED_MIN_SPEEDUP, (
                         f"compressed rounds/sec only {speed:.2f}x of fast "
                         f"at n={n} (need >= {COMPRESSED_MIN_SPEEDUP}x)"
@@ -130,12 +203,34 @@ def large_n_report(sizes: List[int], smoke: bool) -> str:
                 n, engine, rounds, f"{wall:.2f}",
                 f"{rounds / wall:,.0f}", speedup,
             ])
-    return render_table(
+            json_rows.append({
+                "n": n,
+                "engine": engine,
+                "rounds": rounds,
+                "messages": result.stats.messages,
+                "wall_s": round(wall, 4),
+                "rounds_per_sec": round(rounds / wall, 1),
+            })
+        if n >= 256:
+            # The ISSUE 4 bar: the batched delivery pipeline must at
+            # least halve the PR-3 per-phase compressed wall clock.
+            ratio = batched_speedup(graph)
+            speedups["batched_vs_compressed_phase"] = round(ratio, 3)
+            assert ratio >= BATCHED_MIN_SPEEDUP, (
+                f"batched compressed pipeline only {ratio:.2f}x of the "
+                f"per-phase compressed baseline at n={n} "
+                f"(need >= {BATCHED_MIN_SPEEDUP}x)"
+            )
+            rows.append([
+                n, "batched-vs-phase", "--", "--", "--", f"{ratio:.2f}x",
+            ])
+    report = render_table(
         ["n", "engine", "rounds", "wall (s)", "rounds/sec", "vs seed"],
         rows,
-        title="L1: deterministic APSP at large n (er graphs; compressed "
-              "records asserted identical to fast)",
+        title="L1: deterministic APSP at large n (er graphs; every "
+              "compressed mode asserted record-identical to fast)",
     )
+    return report, json_rows, speedups
 
 
 def closure_equivalence_report(n: int) -> str:
@@ -159,6 +254,13 @@ def closure_equivalence_report(n: int) -> str:
     )
 
 
+def full_report(sizes: List[int], smoke: bool) -> str:
+    report, json_rows, speedups = large_n_report(sizes, smoke)
+    report += "\n\n" + closure_equivalence_report(min(128, max(sizes)))
+    write_json(json_rows, speedups)
+    return report
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
@@ -168,19 +270,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="override the size ladder")
     args = parser.parse_args(argv)
     sizes = args.sizes or (SMOKE_SIZES if args.smoke else FULL_SIZES)
-    report = large_n_report(sizes, args.smoke)
-    report += "\n\n" + closure_equivalence_report(min(128, max(sizes)))
-    emit("large_n", report)
+    emit("large_n", full_report(sizes, args.smoke))
     return 0
 
 
 def test_large_n_smoke(benchmark):
     """pytest-benchmark entry: the --smoke measurement, one pass."""
-    report = once(benchmark, lambda: (
-        large_n_report(SMOKE_SIZES, smoke=True)
-        + "\n\n"
-        + closure_equivalence_report(128)
-    ))
+    report = once(benchmark, lambda: full_report(SMOKE_SIZES, smoke=True))
     emit("large_n", report)
 
 

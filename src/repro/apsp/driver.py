@@ -34,7 +34,7 @@ from repro.pipeline.values import is_finite
 from repro.pipeline.broadcast_delivery import broadcast_delivery
 from repro.pipeline.extension import extend_h_hop
 from repro.pipeline.reversed_qsink import reversed_qsink
-from repro.primitives.bellman_ford import bellman_ford
+from repro.primitives.bellman_ford import bellman_ford_many
 from repro.primitives.bfs import build_bfs_tree
 from repro.primitives.broadcast import gather_and_broadcast
 from repro.apsp.closure import BACKENDS as CLOSURE_BACKENDS
@@ -106,10 +106,13 @@ def three_phase_apsp(
 
     # Step 3: h-hop in-SSSP per blocker node (full lexicographic labels —
     # the tie-break fingerprints ride along so Step 7 can reconstruct
-    # predecessors; see repro.pipeline.values).
+    # predecessors; see repro.pipeline.values).  The per-source phases are
+    # batched through the lockstep compressed solver when available.
     lab_to: Dict[int, List[Cost]] = {}
-    for c in q_nodes:
-        res = bellman_ford(net, graph, c, h=h, reverse=True, label=f"in({c})")
+    for c, res in zip(q_nodes, bellman_ford_many(
+        net, graph, q_nodes, h=h, reverse=True,
+        labels=[f"in({c})" for c in q_nodes],
+    )):
         log.add("step3-in-sssp", res.rounds)
         lab_to[c] = res.label
 

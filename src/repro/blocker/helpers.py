@@ -26,6 +26,7 @@ import numpy as np
 from repro.congest.compressed import (
     CompressedPhase,
     PhaseSchedule,
+    collection_arrays,
     live_child_counts,
     tree_arrays,
 )
@@ -121,6 +122,105 @@ class _CompressedViCount(CompressedPhase):
         return dict(zip(leaves.tolist(), beta[leaves].tolist()))
 
 
+class _CompressedViCountBatch(CompressedPhase):
+    """Every tree's beta flood (Algorithms 3/4) evaluated as one phase.
+
+    The stacked counterpart of `_CompressedViCount`: the per-tree
+    schedules sum (rounds add per tree with a live root and at least one
+    live internal node), and the synchronized top-down wave runs level by
+    level over the ``(T, n)`` arrays for all trees at once.
+    """
+
+    def __init__(self, coll: CSSSPCollection, xs: Sequence[int],
+                 vi: Set[int], label: str) -> None:
+        self.coll = coll
+        self.xs = xs
+        self.vi = vi
+        self.label = label
+        self._parent, self._depth, self._live = collection_arrays(coll, xs)
+        n = coll.n
+        kid_rows, kid_cols = np.nonzero(self._live & (self._parent >= 0))
+        self._kid_rows, self._kid_cols = kid_rows, kid_cols
+        flat = kid_rows * n + self._parent[kid_rows, kid_cols]
+        lc = np.bincount(flat, minlength=len(xs) * n).reshape(len(xs), n)
+        self._lc = lc
+        roots = np.asarray([coll.trees[x].root for x in xs], dtype=np.int64)
+        root_live = self._live[np.arange(len(xs)), roots]
+        self._internal = self._live & (lc > 0)
+        self._included = self._internal.any(axis=1) & root_live
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        internal = self._internal & self._included[:, None]
+        rows, cols = np.nonzero(internal)
+        if not len(rows):
+            return PhaseSchedule()
+        n = self.coll.n
+        lc = self._lc
+        depth = self._depth
+        masked = np.where(internal, depth, -1)
+        rounds = int((masked.max(axis=1)[self._included] + 1).sum())
+        sends = lc[rows, cols]
+        per_node_counts = np.bincount(cols, weights=sends, minlength=n)
+        idx = np.flatnonzero(per_node_counts)
+        per_node = dict(zip(
+            idx.tolist(), per_node_counts[idx].astype(np.int64).tolist()
+        ))
+        per_edge = None
+        if net.track_edges:
+            inc = self._included[self._kid_rows]
+            krows = self._kid_rows[inc]
+            kcols = self._kid_cols[inc]
+            keys = self._parent[krows, kcols] * n + kcols
+            uniq, kcounts = np.unique(keys, return_counts=True)
+            per_edge = {
+                (int(k) // n, int(k) % n): int(c)
+                for k, c in zip(uniq, kcounts)
+            }
+        return PhaseSchedule(
+            rounds=rounds,
+            messages=int(sends.sum()),
+            per_node_sent=per_node,
+            per_edge_sent=per_edge,
+        )
+
+    def evaluate(self, net: CongestNetwork) -> Dict[int, Dict[int, int]]:
+        coll = self.coll
+        n = coll.n
+        h = coll.h
+        parent, depth, live = self._parent, self._depth, self._live
+        in_vi = np.zeros(n, dtype=np.int64)
+        for v in self.vi:
+            if 0 <= v < n:
+                in_vi[v] = 1
+        beta = np.zeros(parent.shape, dtype=np.int64)
+        rows, cols = np.nonzero(live & (depth >= 1))
+        if len(rows):
+            # Top-down wave: one assignment per depth level over
+            # depth-sorted coordinates (levels never exceed h).
+            d = depth[rows, cols]
+            order = np.argsort(d, kind="stable")
+            rs, cs = rows[order], cols[order]
+            ds = d[order]
+            starts = np.concatenate(
+                ([0], np.flatnonzero(np.diff(ds)) + 1, [len(ds)])
+            )
+            for a, b in zip(starts[:-1], starts[1:]):
+                r, c = rs[a:b], cs[a:b]
+                beta[r, c] = beta[r, parent[r, c]] + in_vi[c]
+        out: Dict[int, Dict[int, int]] = {}
+        lrows, lcols = np.nonzero(live & (depth == h))
+        bounds = np.searchsorted(lrows, np.arange(len(self.xs) + 1))
+        col_l = lcols.tolist()
+        beta_l = beta[lrows, lcols].tolist()
+        for i, x in enumerate(self.xs):
+            if not coll.trees[x].live(coll.trees[x].root):
+                out[x] = {}
+                continue
+            a, b = bounds[i], bounds[i + 1]
+            out[x] = dict(zip(col_l[a:b], beta_l[a:b]))
+        return out
+
+
 def compute_vi_counts(
     net: CongestNetwork,
     coll: CSSSPCollection,
@@ -137,6 +237,12 @@ def compute_vi_counts(
     ``compress`` selects the round-compressed execution mode (default:
     the network's setting).
     """
+    if net.use_compressed_batched(compress) and coll.trees:
+        xs = list(coll.trees)
+        phase = _CompressedViCountBatch(coll, xs, vi, label)
+        beta, stats = net.run_compressed(phase)
+        stats.label = label
+        return beta, stats
     compressed = net.use_compressed(compress)
     total = RoundStats(label=label)
     beta: Dict[int, Dict[int, int]] = {}

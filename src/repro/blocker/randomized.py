@@ -282,7 +282,8 @@ def run_blocker_algorithm(
     bfs, stats = build_bfs_tree(net)
     log.add("bfs-tree", stats)
 
-    score, _per_tree, stats = compute_scores(net, coll, label="scores")
+    score, _per_tree, stats = compute_scores(net, coll, label="scores",
+                                             per_tree=False)
     log.add("initial-scores", stats)
 
     while True:
@@ -409,7 +410,8 @@ def run_blocker_algorithm(
             # Steps 15-16: cleanup and recompute.
             stats = remove_subtrees_sequential(net, coll, added)
             log.add("remove-subtrees", stats)
-            score, _per_tree, stats = compute_scores(net, coll, label="rescore")
+            score, _per_tree, stats = compute_scores(net, coll, label="rescore",
+                                                     per_tree=False)
             log.add("rescore", stats)
             vi, stats = _broadcast_vi(
                 net, bfs, score, (1.0 + eps) ** (stage_i - 1)

@@ -20,7 +20,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.congest.compressed import CompressedPhase, PhaseSchedule, tree_arrays
+from repro.congest.compressed import (
+    CompressedPhase,
+    PhaseSchedule,
+    collection_arrays,
+    tree_arrays,
+)
 from repro.congest.metrics import RoundStats
 from repro.congest.network import CongestNetwork
 from repro.congest.node import Ctx, NodeProgram
@@ -129,6 +134,119 @@ class _CompressedSubtreeSum(CompressedPhase):
         return out
 
 
+class _CompressedSubtreeSumBatch(CompressedPhase):
+    """All trees' subtree-sum convergecasts evaluated as one phase.
+
+    Valid for integer-valued inputs only (float addition is exact in any
+    order, so the level-by-level ``np.add.at`` accumulation over the
+    stacked ``(T, n)`` arrays matches every engine fold) — which covers
+    all the batch call sites: leaf indicators (scores / score_ij) and
+    live counts (Algorithm 14).  The schedule is the sum of the per-tree
+    schedules, computed in one vectorized pass.
+    """
+
+    def __init__(
+        self,
+        parent: "np.ndarray",
+        depth: "np.ndarray",
+        live: "np.ndarray",
+        h: int,
+        values: "np.ndarray",
+        label: str,
+    ) -> None:
+        self.h = h
+        self.label = label
+        self._parent, self._depth, self._live = parent, depth, live
+        self._values = values
+        self._senders = live & (parent >= 0)
+        self._acc: Optional[np.ndarray] = None
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        senders, depth, parent = self._senders, self._depth, self._parent
+        n = senders.shape[1] if senders.ndim == 2 else 0
+        counts = senders.sum(axis=1)
+        total = int(counts.sum())
+        if not total:
+            return PhaseSchedule()
+        # Per-tree rounds: h - (min sender depth) + 1, summed.
+        masked_depth = np.where(senders, depth, self.h + 1)
+        min_depth = masked_depth.min(axis=1)
+        has = counts > 0
+        rounds = int((self.h - min_depth[has] + 1).sum())
+        rows, cols = np.nonzero(senders)
+        per_node_counts = np.bincount(cols, minlength=n)
+        idx = np.flatnonzero(per_node_counts)
+        per_node = dict(zip(idx.tolist(), per_node_counts[idx].tolist()))
+        per_edge = None
+        if net.track_edges:
+            keys = cols * n + parent[rows, cols]
+            uniq, kcounts = np.unique(keys, return_counts=True)
+            per_edge = {
+                (int(k) // n, int(k) % n): int(c)
+                for k, c in zip(uniq, kcounts)
+            }
+        return PhaseSchedule(
+            rounds=rounds,
+            messages=total,
+            per_node_sent=per_node,
+            per_edge_sent=per_edge,
+        )
+
+    def evaluate(self, net: CongestNetwork) -> "np.ndarray":
+        if self._acc is not None:
+            return self._acc
+        senders, depth, parent = self._senders, self._depth, self._parent
+        acc = np.where(self._live, self._values, 0.0)
+        if not np.array_equal(acc, np.trunc(acc)):
+            raise ValueError(
+                "batched subtree sums require integer-valued inputs "
+                "(float addition must be order-independent); use the "
+                "per-tree subtree_sums for general floats"
+            )
+        # One bottom-up np.add.at per depth level, over depth-sorted
+        # sender coordinates (a single nonzero + argsort instead of a
+        # full-matrix mask per level).
+        rows, cols = np.nonzero(senders)
+        if len(rows):
+            d = depth[rows, cols]
+            order = np.argsort(-d, kind="stable")
+            rs, cs = rows[order], cols[order]
+            ds = d[order]
+            starts = np.concatenate(
+                ([0], np.flatnonzero(np.diff(ds)) + 1, [len(ds)])
+            )
+            for a, b in zip(starts[:-1], starts[1:]):
+                r, c = rs[a:b], cs[a:b]
+                np.add.at(acc, (r, parent[r, c]), acc[r, c])
+        self._acc = acc
+        return acc
+
+
+def batched_subtree_sums(
+    net: CongestNetwork,
+    coll: CSSSPCollection,
+    xs: Sequence[int],
+    values: "np.ndarray",
+    label: str,
+    arrays: Optional[Tuple["np.ndarray", "np.ndarray", "np.ndarray"]] = None,
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray", RoundStats]:
+    """One compressed phase covering ``subtree_sums`` on every tree in ``xs``.
+
+    ``values`` is the raw ``(len(xs), n)`` input (masked to live nodes
+    internally, as the per-tree calls do).  Returns ``(acc, depth, live,
+    stats)`` with ``acc[i]`` the live-subtree sums of tree ``xs[i]`` —
+    bit-identical to the per-tree runs, whose merged stats equal
+    ``stats``.  Integer-valued inputs only (asserted).
+    """
+    if arrays is None:
+        arrays = collection_arrays(coll, xs)
+    parent, depth, live = arrays
+    phase = _CompressedSubtreeSumBatch(parent, depth, live, coll.h, values,
+                                       label)
+    acc, stats = net.run_compressed(phase)
+    return acc, depth, live, stats
+
+
 def subtree_sums(
     net: CongestNetwork,
     coll: CSSSPCollection,
@@ -174,6 +292,7 @@ def compute_scores(
     coll: CSSSPCollection,
     label: str = "scores",
     compress: Optional[bool] = None,
+    per_tree: bool = True,
 ) -> Tuple[List[float], Dict[int, List[float]], RoundStats]:
     """``score(v)`` for every node plus the per-tree leaf-count aggregates.
 
@@ -181,22 +300,41 @@ def compute_scores(
     number of live depth-``h`` leaves under ``v`` in ``T_x`` — exactly the
     subtree-additive aggregate :class:`repro.csssp.pruning.ParallelPruner`
     maintains for the greedy baseline.  ``O(|S| \\cdot h)`` rounds.
+    ``per_tree=False`` skips materializing the per-tree lists (the
+    rescore loop of Algorithm 2 only reads the totals) and returns an
+    empty dict in their place.
     """
+    if net.use_compressed_batched(compress) and coll.trees:
+        xs = list(coll.trees)
+        arrays = collection_arrays(coll, xs)
+        _, depth0, live0 = arrays
+        leaf_vals = ((depth0 == coll.h) & live0).astype(np.float64)
+        acc, depth, live, stats = batched_subtree_sums(
+            net, coll, xs, leaf_vals, label, arrays=arrays
+        )
+        tree_sums = (
+            {x: acc[i].tolist() for i, x in enumerate(xs)} if per_tree else {}
+        )
+        counted = live & (depth >= 1)
+        score = np.where(counted, acc, 0.0).sum(axis=0).tolist()
+        stats.label = label
+        return score, tree_sums, stats
     total = RoundStats(label=label)
     score = [0.0] * coll.n
-    per_tree: Dict[int, List[float]] = {}
+    tree_sums: Dict[int, List[float]] = {}
     for x in coll.trees:
         sums, stats = subtree_sums(
             net, coll, x, leaf_indicators(coll, x), label=f"{label}({x})",
             compress=compress,
         )
         total.merge(stats)
-        per_tree[x] = sums
+        if per_tree:
+            tree_sums[x] = sums
         t = coll.trees[x]
         for v in range(coll.n):
             if t.depth[v] >= 1 and not t.removed[v]:
                 score[v] += sums[v]
-    return score, per_tree, total
+    return score, tree_sums, total
 
 
 def compute_score_ij(
@@ -212,6 +350,18 @@ def compute_score_ij(
     (each leaf knows this locally after Compute-Pij).  Same convergecast as
     :func:`compute_scores`, ``O(|S| \\cdot h)`` rounds.
     """
+    xs = [x for x in coll.trees if pij_leaf.get(x)]
+    if net.use_compressed_batched(compress) and xs:
+        vals = np.zeros((len(xs), coll.n))
+        for i, x in enumerate(xs):
+            vals[i, pij_leaf[x]] = 1.0
+        acc, depth, live, stats = batched_subtree_sums(
+            net, coll, xs, vals, label
+        )
+        counted = live & (depth >= 1)
+        score = np.where(counted, acc, 0.0).sum(axis=0).tolist()
+        stats.label = label
+        return score, stats
     total = RoundStats(label=label)
     score = [0.0] * coll.n
     for x in coll.trees:
@@ -231,6 +381,7 @@ def compute_score_ij(
 
 
 __all__ = [
+    "batched_subtree_sums",
     "compute_score_ij",
     "compute_scores",
     "leaf_indicators",

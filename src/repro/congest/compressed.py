@@ -42,6 +42,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -250,6 +251,87 @@ def live_child_counts(
     return np.bincount(parent[senders], minlength=n)
 
 
+def merge_schedules(parts: Sequence[PhaseSchedule]) -> PhaseSchedule:
+    """Sequential composition of phase schedules (rounds and counts add).
+
+    The schedule-level mirror of :meth:`RoundStats.merge`: a batch of
+    phases executed back to back charges the sum of their rounds and the
+    sum of their per-node / per-edge send totals, so a single
+    ``run_compressed`` over the batch advances the engine's accounting
+    exactly as the per-phase runs would have.
+    """
+    total = PhaseSchedule()
+    per_node: Dict[int, int] = {}
+    per_edge: Optional[Dict[Tuple[int, int], int]] = None
+    for sched in parts:
+        total.rounds += sched.rounds
+        total.messages += sched.messages
+        for v, c in sched.per_node_sent.items():
+            per_node[v] = per_node.get(v, 0) + c
+        if sched.per_edge_sent is not None:
+            if per_edge is None:
+                per_edge = {}
+            for e, c in sched.per_edge_sent.items():
+                per_edge[e] = per_edge.get(e, 0) + c
+    total.per_node_sent = per_node
+    total.per_edge_sent = per_edge
+    return total
+
+
+class CompressedSequence(CompressedPhase):
+    """A batch of compressed phases executed as one phase.
+
+    Used by the multi-tree batches (sequential subtree removals, the
+    per-tree floods of Algorithms 3/4/14): instead of one
+    ``run_compressed`` — and one stats merge — per tree, the sequence
+    charges :func:`merge_schedules` of all sub-schedules at once and
+    evaluates the sub-phases in declaration order.  Valid whenever the
+    sub-phases are independent (each touches its own tree), which is how
+    the per-tree protocols behave by construction.
+    """
+
+    def __init__(self, phases: Sequence[CompressedPhase], label: str) -> None:
+        self.phases = list(phases)
+        self.label = label
+
+    def schedule(self, net) -> PhaseSchedule:
+        return merge_schedules([p.schedule(net) for p in self.phases])
+
+    def evaluate(self, net) -> list:
+        return [p.evaluate(net) for p in self.phases]
+
+
+def collection_arrays(coll, xs: Sequence[int]):
+    """Cached stacked ``(parent, depth, live)`` arrays for a collection.
+
+    A tree's ``parent`` / ``depth`` rows are immutable after construction
+    (pruning flips ``removed`` flags, never the pointers — see
+    :class:`~repro.csssp.collection.TreeView`), so the stacked int arrays
+    are built once per ``(collection, xs)`` — cached per ``xs`` tuple, as
+    the blocker loop alternates between the full tree list and pij
+    subsets — and only the cheap boolean ``removed`` stack is re-read on
+    every call.
+    """
+    key = tuple(xs)
+    cache = getattr(coll, "_stacked_static", None)
+    if cache is None:
+        cache = coll._stacked_static = {}
+    entry = cache.get(key)
+    if entry is None:
+        trees = [coll.trees[x] for x in key]
+        parent = np.asarray([t.parent for t in trees], dtype=np.int64)
+        depth = np.asarray([t.depth for t in trees], dtype=np.int64)
+        cache[key] = entry = (parent, depth)
+    parent, depth = entry
+    removed = np.fromiter(
+        chain.from_iterable(coll.trees[x].removed for x in key),
+        dtype=bool,
+        count=len(key) * depth.shape[1] if len(key) else 0,
+    ).reshape(depth.shape)
+    live = (depth >= 0) & ~removed
+    return parent, depth, live
+
+
 #: Sentinel for the end-of-stream marker in :func:`simulate_upcast`.
 _UD = object()
 
@@ -311,14 +393,126 @@ def simulate_upcast(tree, items_per_node: Sequence[Sequence[tuple]]):
     return collected, switch_tick, sends
 
 
+def simulate_round_robin(
+    n: int,
+    parents: Dict[int, Sequence[int]],
+    orders: Sequence[Sequence[int]],
+    initial: Sequence[Dict[int, int]],
+    track_edges: bool = False,
+) -> Tuple[int, int, Dict[int, int], Optional[Dict[Tuple[int, int], int]], List[int]]:
+    """Count-level replay of the Step-6 round-robin pipeline (Section 4.3).
+
+    The pipeline's *contents* are fixed — every record queued at ``x``
+    for sink ``c`` travels the unique tree path ``x -> c`` in ``T_c``, so
+    the messages, per-node and per-edge send totals are plain path sums
+    over the frame structure.  Only the *round* at which each send fires
+    depends on the dynamics (how queues interleave under the cyclic
+    service order), and those dynamics are a function of queue **counts**
+    alone: a node serves the next sink in its cyclic order with pending
+    traffic, regardless of which record sits at the head.  This replays
+    exactly that — integer counters per ``(node, sink)``, a cursor per
+    node, deliveries landing one tick after the send — with no message
+    objects and no engine.
+
+    Parameters
+    ----------
+    parents:
+        ``parents[c][v]`` — the parent of ``v`` in sink ``c``'s pruned
+        in-tree (the hop a record for ``c`` takes from ``v``).
+    orders:
+        Per-node cyclic service order over sinks (the shared sorted order
+        in the deterministic algorithm; per-node shuffles in the
+        randomized-scheduling contrast).
+    initial:
+        ``initial[v][c]`` — records queued at ``v`` for sink ``c`` at the
+        start.
+
+    Returns ``(rounds, messages, per_node_sent, per_edge_sent, sent)``
+    matching the engine's :class:`~repro.congest.metrics.RoundStats`
+    exactly (``per_edge_sent`` is None unless ``track_edges``); ``sent``
+    is each node's total forward count (the pipeline trace's
+    ``max_forwarded`` source).
+    """
+    from bisect import bisect_left, insort
+
+    # Sink -> position in each node's order; shared when the order is.
+    shared = all(o is orders[0] for o in orders)
+    if shared and orders:
+        pos0 = {c: i for i, c in enumerate(orders[0])}
+        pos: List[Dict[int, int]] = [pos0] * n
+    else:
+        pos = [{c: i for i, c in enumerate(orders[v])} for v in range(n)]
+
+    cnt: List[Dict[int, int]] = [{} for _ in range(n)]
+    act: List[List[int]] = [[] for _ in range(n)]
+    cur = [0] * n
+    for v in range(n):
+        for c, k in initial[v].items():
+            if k:
+                cnt[v][pos[v][c]] = k
+        act[v] = sorted(cnt[v])
+    active = {v for v in range(n) if act[v]}
+
+    sent = [0] * n
+    per_edge: Optional[Dict[Tuple[int, int], int]] = {} if track_edges else None
+    messages = 0
+    last_send = -1
+    inflight: List[Tuple[int, int]] = []  # (dst, sink)
+    tick = 0
+    while active or inflight:
+        for dst, c in inflight:
+            if dst == c:
+                continue  # arrived at its sink
+            i = pos[dst][c]
+            d = cnt[dst]
+            k = d.get(i, 0)
+            if not k:
+                insort(act[dst], i)
+                active.add(dst)
+            d[i] = k + 1
+        inflight = []
+        for v in sorted(active):
+            a = act[v]
+            order = orders[v]
+            j = bisect_left(a, cur[v])
+            j = j if j < len(a) else 0
+            idx = a[j]
+            c = order[idx]
+            k = cnt[v][idx] - 1
+            if k:
+                cnt[v][idx] = k
+            else:
+                del cnt[v][idx]
+                a.pop(j)
+                if not a:
+                    active.discard(v)
+            cur[v] = idx + 1 if idx + 1 < len(order) else 0
+            p = parents[c][v]
+            inflight.append((p, c))
+            sent[v] += 1
+            messages += 1
+            if per_edge is not None:
+                ekey = (v, p)
+                per_edge[ekey] = per_edge.get(ekey, 0) + 1
+        if inflight:
+            last_send = tick
+        tick += 1
+    per_node = {v: s for v, s in enumerate(sent) if s}
+    return last_send + 1, messages, per_node, per_edge, sent
+
+
 __all__ = [
     "CompressedPhase",
+    "CompressedSequence",
+    "collection_arrays",
     "PhaseSchedule",
     "aggregate_rounds",
     "bottom_up_order",
     "live_child_counts",
     "max_internal_depth",
+    "merge_schedules",
     "pipelined_sum_rounds",
+    "simulate_round_robin",
     "simulate_upcast",
     "subtree_heights",
     "tree_arrays",

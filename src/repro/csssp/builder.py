@@ -33,13 +33,46 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.congest.compressed import CompressedPhase, PhaseSchedule
+from repro.congest.compressed import (
+    CompressedPhase,
+    CompressedSequence,
+    PhaseSchedule,
+)
 from repro.congest.metrics import RoundStats
 from repro.congest.network import CongestNetwork
 from repro.congest.node import Ctx, NodeProgram
 from repro.csssp.collection import CSSSPCollection, TreeView
 from repro.graphs.spec import Cost, Graph, INF_COST, add_cost
-from repro.primitives.bellman_ford import SSSPResult, bellman_ford, notify_children
+from repro.primitives.bellman_ford import (
+    SSSPResult,
+    _CompressedNotifyChildren,
+    bellman_ford_many,
+    notify_children,
+)
+
+
+def _edge_in_table(net: CongestNetwork, graph: Graph, reverse: bool):
+    """``(announcer, receiver) -> (weight, tb)`` lookup, cached on the net.
+
+    The receiver-side edge table every `_TruncateProgram` builds locally,
+    materialized once per (graph, direction) so the compressed truncation
+    floods of Steps 1/6 resolve parent edges in O(1) instead of scanning
+    the receiver's edge list per source.
+    """
+    cache = getattr(net, "_edge_in_tables", None)
+    if cache is None:
+        cache = net._edge_in_tables = {}
+    key = (id(graph), reverse)
+    entry = cache.get(key)
+    if entry is not None and entry[0] is graph:
+        return entry[1]
+    edges = graph.in_edges if not reverse else graph.out_edges
+    table = {}
+    for v in range(graph.n):
+        for u, w, tb in edges(v):
+            table[(u, v)] = (w, tb)
+    cache[key] = (graph, table)
+    return table
 
 
 class _TruncateProgram(NodeProgram):
@@ -95,11 +128,12 @@ class _CompressedTruncate(CompressedPhase):
     """
 
     def __init__(self, graph: Graph, res: SSSPResult, h: int,
-                 label: str) -> None:
+                 label: str, edge_in: Optional[dict] = None) -> None:
         self.graph = graph
         self.res = res
         self.h = h
         self.label = label
+        self.edge_in = edge_in
         self._kept: Optional[List[bool]] = None
 
     def _solve(self) -> List[bool]:
@@ -108,6 +142,7 @@ class _CompressedTruncate(CompressedPhase):
         graph, res, h = self.graph, self.res, self.h
         n = graph.n
         edges = graph.in_edges if not res.reverse else graph.out_edges
+        table = self.edge_in
         kept = [False] * n
         kept[res.source] = True
         order = sorted(
@@ -118,7 +153,10 @@ class _CompressedTruncate(CompressedPhase):
             p = res.parent[v]
             if p < 0 or not kept[p] or res.hops[p] >= h:
                 continue
-            wt = next(((w, tb) for (u, w, tb) in edges(v) if u == p), None)
+            if table is not None:
+                wt = table.get((p, v))
+            else:
+                wt = next(((w, tb) for (u, w, tb) in edges(v) if u == p), None)
             if wt is not None and add_cost(res.label[p], *wt) == res.label[v]:
                 kept[v] = True
         self._kept = kept
@@ -173,14 +211,58 @@ def build_csssp(
         raise ValueError("h must be >= 1")
     reverse = orientation == "in"
     compressed = net.use_compressed(compress)
+    batched = net.use_compressed_batched(compress)
     total = RoundStats(label=label)
     trees: Dict[int, TreeView] = {}
-    for x in sources:
-        res = bellman_ford(
-            net, graph, x, h=2 * h, reverse=reverse, label=f"{label}-bf({x})",
-            compress=compress,
-        )
+    source_list = list(sources)
+    results = bellman_ford_many(
+        net, graph, source_list, h=2 * h, reverse=reverse,
+        labels=[f"{label}-bf({x})" for x in source_list],
+        compress=compress,
+    )
+    for res in results:
         total.merge(res.rounds)
+
+    if batched and source_list:
+        # The per-source truncation floods and children notifications are
+        # independent fixed-schedule phases: run each family as one batch.
+        edge_in = _edge_in_table(net, graph, reverse)
+        trunc = [
+            _CompressedTruncate(graph, res, h, f"{label}-trunc({x})", edge_in)
+            for x, res in zip(source_list, results)
+        ]
+        kept_list, stats = net.run_compressed(
+            CompressedSequence(trunc, f"{label}-trunc")
+        )
+        total.merge(stats)
+        parents: List[List[int]] = []
+        for x, res, kept in zip(source_list, results, kept_list):
+            parent = [-1] * graph.n
+            depth = [-1] * graph.n
+            dist = [float("inf")] * graph.n
+            for v in range(graph.n):
+                if kept[v]:
+                    depth[v] = res.hops[v]
+                    dist[v] = res.dist[v]
+                    parent[v] = res.parent[v]
+            parents.append(parent)
+            trees[x] = TreeView(
+                root=x, parent=parent, depth=depth, dist=dist,
+                children=[], removed=[False] * graph.n,
+            )
+        kids = [
+            _CompressedNotifyChildren(parent, f"{label}-kids({x})")
+            for x, parent in zip(source_list, parents)
+        ]
+        children_list, nstats = net.run_compressed(
+            CompressedSequence(kids, f"{label}-kids")
+        )
+        total.merge(nstats)
+        for x, children in zip(source_list, children_list):
+            trees[x].children = children
+        return CSSSPCollection(graph, h, trees, orientation), total
+
+    for x, res in zip(source_list, results):
         if compressed:
             kept, stats = net.run_compressed(
                 _CompressedTruncate(graph, res, h, f"{label}-trunc({x})")

@@ -25,7 +25,11 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.congest.compressed import CompressedPhase, PhaseSchedule
+from repro.congest.compressed import (
+    CompressedPhase,
+    CompressedSequence,
+    PhaseSchedule,
+)
 from repro.congest.metrics import RoundStats
 from repro.congest.network import CongestNetwork
 from repro.congest.node import Ctx, NodeProgram
@@ -142,27 +146,38 @@ def remove_subtrees_sequential(
     selects the round-compressed execution mode (default: the network's
     setting).
     """
-    rootset = set(roots)
+    rootset = sorted(set(roots))
     compressed = net.use_compressed(compress)
+    batched = net.use_compressed_batched(compress)
     total = RoundStats(label=label)
+    batch: List[_CompressedSubtreeRemove] = []
     for x, t in coll.trees.items():
-        starts = [
-            v in rootset and t.depth[v] >= 1 and not t.removed[v]
-            for v in range(t.n)
+        start_nodes = [
+            v for v in rootset if t.depth[v] >= 1 and not t.removed[v]
         ]
-        if not any(starts):
+        if not start_nodes:
             continue
         if compressed:
-            start_nodes = [v for v in range(t.n) if starts[v]]
-            _, stats = net.run_compressed(
-                _CompressedSubtreeRemove(
-                    t, start_nodes, set(start_nodes), f"{label}({x})"
-                )
+            phase = _CompressedSubtreeRemove(
+                t, start_nodes, set(start_nodes), f"{label}({x})"
             )
+            if batched:
+                # One run_compressed for the whole collection: the
+                # per-tree floods are independent, so their schedules
+                # compose additively (CompressedSequence).
+                batch.append(phase)
+                continue
+            _, stats = net.run_compressed(phase)
             total.merge(stats)
             continue
-        programs = [_SequentialRemoveProgram(v, t, starts[v]) for v in range(t.n)]
+        startset = set(start_nodes)
+        programs = [
+            _SequentialRemoveProgram(v, t, v in startset) for v in range(t.n)
+        ]
         total.merge(net.run(programs, label=f"{label}({x})"))
+    if batch:
+        _, stats = net.run_compressed(CompressedSequence(batch, label))
+        total.merge(stats)
     return total
 
 
@@ -232,6 +247,132 @@ class _ParallelPruneProgram(NodeProgram):
         self.active = any(q for q in self._queues.values())
 
 
+class _CompressedParallelPrune(CompressedPhase):
+    """Round-compressed `_ParallelPruneProgram`: exact per-edge-FIFO replay.
+
+    The prune's dynamics — rm floods down, aggregate subtractions up, one
+    notice per incident edge per round — are deterministic functions of
+    the tree state, so the phase replays them with plain deques keyed
+    exactly as the programs key theirs (per-destination, in creation
+    order, empties retained) and in the engine's node order (ascending id
+    within a round).  Float subtractions land in the engine's order, so
+    ``agg`` / ``totals`` come out bit-identical; the schedule records the
+    sends the replay performed.
+
+    The replay mutates the pruner's collection and aggregates when first
+    solved (from :meth:`schedule`); :meth:`evaluate` just returns.
+    """
+
+    def __init__(self, pruner: "ParallelPruner", rootset: Tuple[int, ...],
+                 label: str) -> None:
+        self.pruner = pruner
+        self.rootset = rootset
+        self.label = label
+        self._sched: Optional[PhaseSchedule] = None
+
+    def _solve(self, net: CongestNetwork) -> None:
+        if self._sched is not None:
+            return
+        coll = self.pruner.coll
+        agg = self.pruner.agg
+        totals = self.pruner.totals
+        n = net.n
+        track_edges = net.track_edges
+
+        # queues[v]: dst -> FIFO of (kind, payload); like the programs,
+        # drained deques stay in the dict so the service order (dict
+        # insertion order) matches the engine run exactly.
+        queues: List[Dict[int, Deque[Tuple[str, tuple]]]] = [
+            {} for _ in range(n)
+        ]
+
+        def enqueue(v: int, dst: int, kind: str, payload: tuple) -> None:
+            q = queues[v].get(dst)
+            if q is None:
+                queues[v][dst] = q = deque()
+            q.append((kind, payload))
+
+        def detach(v: int, x: int) -> None:
+            t = coll.trees[x]
+            t.removed[v] = True
+            totals[v] -= agg[x][v]
+            for c in t.live_children(v):
+                enqueue(v, c, "rm", (x,))
+
+        per_node: Dict[int, int] = {}
+        per_edge: Optional[Dict[Tuple[int, int], int]] = (
+            {} if track_edges else None
+        )
+        messages = 0
+        last_send = -1
+        has_work: set = set()  # nodes with a nonempty queue
+        inboxes: Dict[int, List[Tuple[str, tuple]]] = {}
+        rootset = self.rootset
+        # Round 0: every program wakes; only roots create work.
+        woken: List[int] = sorted(set(rootset))
+        tick = 0
+        while True:
+            next_inboxes: Dict[int, List[Tuple[str, tuple]]] = {}
+            for v in woken:
+                if tick == 0 and v in rootset:
+                    for x, t in coll.trees.items():
+                        if t.depth[v] >= 1 and not t.removed[v]:
+                            enqueue(v, t.parent[v], "sub", (x, agg[x][v]))
+                            detach(v, x)
+                for kind, payload in inboxes.get(v, ()):
+                    if kind == "rm":
+                        (x,) = payload
+                        if not coll.trees[x].removed[v]:
+                            detach(v, x)
+                    else:  # "sub"
+                        x, delta = payload
+                        t = coll.trees[x]
+                        agg[x][v] -= delta
+                        if t.removed[v]:
+                            continue  # absorbed
+                        if t.depth[v] >= 1:
+                            totals[v] -= delta
+                        if t.parent[v] >= 0:
+                            enqueue(v, t.parent[v], "sub", (x, delta))
+                busy = False
+                for dst, q in queues[v].items():
+                    if q:
+                        kind, payload = q.popleft()
+                        next_inboxes.setdefault(dst, []).append((kind, payload))
+                        per_node[v] = per_node.get(v, 0) + 1
+                        messages += 1
+                        last_send = tick
+                        if per_edge is not None:
+                            ekey = (v, dst)
+                            per_edge[ekey] = per_edge.get(ekey, 0) + 1
+                        if q:
+                            busy = True
+                if busy:
+                    has_work.add(v)
+                else:
+                    has_work.discard(v)
+            inboxes = next_inboxes
+            wake = has_work.union(next_inboxes)
+            tick += 1
+            if not wake:
+                break
+            woken = sorted(wake)
+        self._sched = PhaseSchedule(
+            rounds=last_send + 1,
+            messages=messages,
+            per_node_sent=per_node,
+            per_edge_sent=per_edge,
+        )
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        self._solve(net)
+        return self._sched
+
+    def evaluate(self, net: CongestNetwork) -> None:
+        self._solve(net)
+        return None
+
+
 class ParallelPruner:
     """Maintains per-tree subtree aggregates under repeated removals.
 
@@ -266,13 +407,21 @@ class ParallelPruner:
                 if t.live(v) and t.depth[v] >= 1:
                     self.totals[v] += values[v]
 
-    def remove(self, roots: Sequence[int], label: str = "prune") -> RoundStats:
+    def remove(self, roots: Sequence[int], label: str = "prune",
+               compress: Optional[bool] = None) -> RoundStats:
         """Detach the subtrees of ``roots`` in every tree, updating aggregates.
 
         ``O(|S| + h)`` rounds per call (one subtraction per tree climbs at
         most ``h`` edges; per-edge FIFOs drain one notice per round).
+        ``compress`` selects the round-compressed exact replay (default:
+        the network's ``compress and batch`` setting).
         """
         rootset = tuple(sorted(set(roots)))
+        if self.net.use_compressed_batched(compress):
+            _, stats = self.net.run_compressed(
+                _CompressedParallelPrune(self, rootset, label)
+            )
+            return stats
         programs = [
             _ParallelPruneProgram(v, self.coll, self.agg, self.totals, rootset)
             for v in range(self.net.n)

@@ -30,7 +30,8 @@ from repro.congest.metrics import PhaseLog, RoundStats
 from repro.congest.network import CongestNetwork
 from repro.csssp.collection import CSSSPCollection
 from repro.csssp.pruning import ParallelPruner
-from repro.blocker.scores import subtree_sums
+from repro.blocker.scores import batched_subtree_sums, subtree_sums
+from repro.congest.compressed import collection_arrays
 from repro.primitives.bfs import build_bfs_tree
 from repro.primitives.broadcast import gather_and_broadcast
 
@@ -58,8 +59,22 @@ def message_counts(
     net: CongestNetwork,
     coll: CSSSPCollection,
     label: str = "compute-count",
+    compress: Optional[bool] = None,
 ) -> Tuple[Dict[int, List[float]], RoundStats]:
-    """Algorithm 14 for every tree: ``count_{v,c}`` = live subtree size."""
+    """Algorithm 14 for every tree: ``count_{v,c}`` = live subtree size.
+
+    One fixed-schedule subtree-sum convergecast per tree; in the batched
+    compressed mode all of them evaluate as a single stacked phase.
+    """
+    if net.use_compressed_batched(compress) and coll.trees:
+        xs = list(coll.trees)
+        arrays = collection_arrays(coll, xs)
+        ones = arrays[2].astype(float)  # live indicators
+        acc, _depth, _live, stats = batched_subtree_sums(
+            net, coll, xs, ones, label, arrays=arrays
+        )
+        stats.label = label
+        return {x: acc[i].tolist() for i, x in enumerate(xs)}, stats
     total = RoundStats(label=label)
     counts: Dict[int, List[float]] = {}
     for c, t in coll.trees.items():
@@ -75,12 +90,15 @@ def compute_bottleneck(
     coll: CSSSPCollection,
     threshold: Optional[float] = None,
     label: str = "bottleneck",
+    compress: Optional[bool] = None,
 ) -> BottleneckResult:
     """Algorithm 13: find and remove the bottleneck set ``B``.
 
     ``threshold`` defaults to the paper's ``n \\sqrt{|Q|}``; benches lower
     it to exercise multi-pick runs on small graphs.  Mutates ``coll``
-    (subtrees of chosen nodes are detached).
+    (subtrees of chosen nodes are detached).  ``compress`` selects the
+    round-compressed execution of every sub-phase (default: the
+    network's setting).
     """
     n = coll.n
     q = len(coll.trees)
@@ -88,11 +106,11 @@ def compute_bottleneck(
         threshold = n * math.sqrt(q)
     log = PhaseLog()
 
-    counts, stats = message_counts(net, coll)  # Step 1 (Algorithm 14)
+    counts, stats = message_counts(net, coll, compress=compress)  # Step 1
     log.add("compute-counts", stats)
     pruner = ParallelPruner(net, coll, counts)  # Step 2 totals
 
-    bfs, stats = build_bfs_tree(net)
+    bfs, stats = build_bfs_tree(net, compress=compress)
     log.add("bfs-tree", stats)
 
     bottlenecks: List[int] = []
@@ -104,7 +122,7 @@ def compute_bottleneck(
             for v in range(n)
         ]
         received, stats = gather_and_broadcast(
-            net, bfs, items, label="broadcast-counts"
+            net, bfs, items, label="broadcast-counts", compress=compress
         )
         log.add("broadcast-counts", stats)
         view = received[bfs.root]
@@ -115,7 +133,8 @@ def compute_bottleneck(
         _best_total, b = max(over, key=lambda tv: (tv[0], -tv[1]))
         bottlenecks.append(b)
         # Step 6: detach b's subtrees everywhere and patch counts.
-        stats = pruner.remove([b], label="bottleneck-prune")
+        stats = pruner.remove([b], label="bottleneck-prune",
+                              compress=compress)
         log.add("bottleneck-prune", stats)
 
     return BottleneckResult(

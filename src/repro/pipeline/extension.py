@@ -22,7 +22,7 @@ import numpy as np
 from repro.congest.metrics import RoundStats
 from repro.congest.network import CongestNetwork
 from repro.graphs.spec import Cost, Graph, ZERO_COST
-from repro.primitives.bellman_ford import bellman_ford
+from repro.primitives.bellman_ford import bellman_ford_many
 
 
 def extend_h_hop(
@@ -50,6 +50,7 @@ def extend_h_hop(
     out = np.full((n, n), math.inf)
     pred = np.full((n, n), -1, dtype=np.int64)
     total = RoundStats(label=label)
+    inits_per_source: List[Dict[int, Cost]] = []
     for x in srcs:
         inits: Dict[int, Cost] = {x: ZERO_COST}
         for c, row in delivered.items():
@@ -61,15 +62,12 @@ def extend_h_hop(
                 # the extension only while label comparisons stay in true
                 # path order — required for exact predecessor routing.
                 inits[c] = tuple(val)
-        res = bellman_ford(
-            net,
-            graph,
-            x,
-            h=h,
-            inits=inits,
-            fill_equal_parent=True,
-            label=f"{label}({x})",
-        )
+        inits_per_source.append(inits)
+    results = bellman_ford_many(
+        net, graph, srcs, h=h, inits_per_source=inits_per_source,
+        fill_equal_parent=True, labels=[f"{label}({x})" for x in srcs],
+    )
+    for x, res in zip(srcs, results):
         total.merge(res.rounds)
         out[x, :] = res.dist
         pred[x, :] = res.parent

@@ -27,7 +27,7 @@ from repro.congest.metrics import PhaseLog, RoundStats
 from repro.congest.network import CongestNetwork
 from repro.graphs.spec import Cost, Graph, INF_COST
 from repro.pipeline.values import add_triples, is_finite
-from repro.primitives.bellman_ford import bellman_ford
+from repro.primitives.bellman_ford import bellman_ford_many
 from repro.primitives.bfs import build_bfs_tree
 from repro.primitives.broadcast import gather_and_broadcast
 
@@ -39,27 +39,40 @@ def relay_join(
     sinks: Sequence[int],
     log: PhaseLog,
     label: str = "relay",
+    compress: Optional[bool] = None,
 ) -> Dict[int, Dict[int, Cost]]:
     """Deliver ``min_r delta(x, r) + delta(r, c)`` to every sink ``c``.
 
     Values are full lexicographic triples (see
     :mod:`repro.pipeline.values`); a broadcast item is ``(x, r, d, k, tb)``
     — five CONGEST words.  Appends its phases to ``log`` and returns
-    ``candidates[c][x]`` (finite entries only).
+    ``candidates[c][x]`` (finite entries only).  ``compress`` selects the
+    round-compressed execution of the per-relay SSSPs (batched through
+    the lockstep solver when available) and of the broadcast (default:
+    the network's setting).
     """
     lab_to_r: Dict[int, List[Cost]] = {}
     lab_from_r: Dict[int, List[Cost]] = {}
     ssps = RoundStats()
-    for r in relays:
-        rin = bellman_ford(net, graph, r, reverse=True, label=f"{label}-in({r})")
+    relay_list = list(relays)
+    ins = bellman_ford_many(
+        net, graph, relay_list, reverse=True,
+        labels=[f"{label}-in({r})" for r in relay_list],
+        compress=compress,
+    )
+    outs = bellman_ford_many(
+        net, graph, relay_list, reverse=False,
+        labels=[f"{label}-out({r})" for r in relay_list],
+        compress=compress,
+    )
+    for r, rin, rout in zip(relay_list, ins, outs):
         ssps.merge(rin.rounds)
-        rout = bellman_ford(net, graph, r, reverse=False, label=f"{label}-out({r})")
         ssps.merge(rout.rounds)
         lab_to_r[r] = rin.label
         lab_from_r[r] = rout.label
     log.add(f"{label}-ssps", ssps)
 
-    bfs, stats = build_bfs_tree(net)
+    bfs, stats = build_bfs_tree(net, compress=compress)
     log.add(f"{label}-bfs", stats)
     items: List[List[tuple]] = []
     for x in range(net.n):
@@ -69,7 +82,9 @@ def relay_join(
             if is_finite(lab):
                 row.append((x, r) + lab)
         items.append(row)
-    received, stats = gather_and_broadcast(net, bfs, items, label=f"{label}-bcast")
+    received, stats = gather_and_broadcast(net, bfs, items,
+                                           label=f"{label}-bcast",
+                                           compress=compress)
     log.add(f"{label}-bcast", stats)
 
     candidates: Dict[int, Dict[int, Cost]] = {c: {} for c in sinks}

@@ -25,6 +25,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.congest.compressed import (
+    CompressedPhase,
+    PhaseSchedule,
+    simulate_round_robin,
+)
 from repro.congest.metrics import PhaseLog, RoundStats
 from repro.congest.network import CongestNetwork
 from repro.congest.node import Ctx, NodeProgram
@@ -115,12 +120,93 @@ class _RoundRobinProgram(NodeProgram):
         self.active = bool(self.pending)
 
 
+def _pipeline_queue_rows(
+    coll: CSSSPCollection, values: Sequence[Dict[int, Cost]], n: int
+) -> List[Dict[int, int]]:
+    """Initial per-``(node, sink)`` queue counts (the frame-structure load).
+
+    Row ``v`` counts one record per sink ``c != v`` that ``v`` holds a
+    value for and in whose pruned tree it is live — exactly the queues
+    `_RoundRobinProgram` starts with.
+    """
+    rows: List[Dict[int, int]] = []
+    for v in range(n):
+        row: Dict[int, int] = {}
+        for c in values[v]:
+            if c != v and coll.trees[c].live(v):
+                row[c] = 1
+        rows.append(row)
+    return rows
+
+
+class _CompressedRoundRobin(CompressedPhase):
+    """Round-compressed `_RoundRobinProgram` pipeline (Steps 7-9).
+
+    Delivery content is fixed by the frame structure — each record queued
+    at ``x`` for sink ``c`` climbs the unique tree path in ``T_c``, so
+    ``delivered[c][x]`` is just ``values[x][c]`` for live members, and
+    the message / per-node / per-edge totals are path sums.  The round
+    count (and the exact per-node tallies) come from
+    :func:`~repro.congest.compressed.simulate_round_robin`, the
+    count-level replay of the cyclic service-order dynamics.
+    """
+
+    def __init__(
+        self,
+        coll: CSSSPCollection,
+        values: Sequence[Dict[int, Cost]],
+        orders: Sequence[Sequence[int]],
+        label: str,
+    ) -> None:
+        self.coll = coll
+        self.values = values
+        self.orders = orders
+        self.label = label
+        self.initial_rows: Optional[List[Dict[int, int]]] = None
+        self.sent: List[int] = []
+        self._sched: Optional[PhaseSchedule] = None
+
+    def _solve(self, net: CongestNetwork) -> None:
+        if self._sched is not None:
+            return
+        coll = self.coll
+        self.initial_rows = _pipeline_queue_rows(coll, self.values, net.n)
+        parents = {c: coll.trees[c].parent for c in coll.trees}
+        rounds, messages, per_node, per_edge, sent = simulate_round_robin(
+            net.n, parents, self.orders, self.initial_rows,
+            track_edges=net.track_edges,
+        )
+        self.sent = sent
+        self._sched = PhaseSchedule(
+            rounds=rounds,
+            messages=messages,
+            per_node_sent=per_node,
+            per_edge_sent=per_edge,
+        )
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        self._solve(net)
+        return self._sched
+
+    def evaluate(self, net: CongestNetwork) -> Dict[int, Dict[int, Cost]]:
+        self._solve(net)
+        delivered: Dict[int, Dict[int, Cost]] = {}
+        for c, t in self.coll.trees.items():
+            sink: Dict[int, Cost] = {}
+            for x in range(net.n):
+                if x != c and t.live(x) and c in self.values[x]:
+                    sink[x] = tuple(self.values[x][c])
+            delivered[c] = sink
+        return delivered
+
+
 def round_robin_pipeline(
     net: CongestNetwork,
     coll: CSSSPCollection,
     values: Sequence[Dict[int, Cost]],
     label: str = "round-robin",
     schedule_seed: Optional[int] = None,
+    compress: Optional[bool] = None,
 ) -> Tuple[Dict[int, Dict[int, Cost]], RoundStats, PipelineTrace]:
     """Steps 7-9: push every live node's values up the pruned in-trees.
 
@@ -134,10 +220,14 @@ def round_robin_pipeline(
     each node serves its pending sinks in its own seeded shuffled order
     instead of the shared sorted order.  Delivery stays exact; only the
     round schedule differs, so the F4 bench can compare the two heads-up.
+
+    ``compress`` selects the round-compressed count-level replay
+    (default: the network's ``compress and batch`` setting) — results and
+    stats bit-identical to the message-level run.
     """
     order = sorted(coll.trees.keys())
     if schedule_seed is None:
-        orders = [order] * net.n
+        orders: List[Sequence[int]] = [order] * net.n
     else:
         import random as _random
 
@@ -146,24 +236,35 @@ def round_robin_pipeline(
             local = list(order)
             _random.Random(schedule_seed * 1_000_003 + v).shuffle(local)
             orders.append(local)
-    programs = [
-        _RoundRobinProgram(v, coll, orders[v], values[v])
-        for v in range(net.n)
-    ]
-    trace = PipelineTrace(
-        initial_load=[sum(len(q) for q in p.pending.values()) for p in programs],
-        active_sinks_per_node=[len(p.pending) for p in programs],
-    )
-    stats = net.run(programs, label=label)
+    if net.use_compressed_batched(compress):
+        phase = _CompressedRoundRobin(coll, values, orders, label)
+        delivered, stats = net.run_compressed(phase, label=label)
+        trace = PipelineTrace(
+            initial_load=[sum(r.values()) for r in phase.initial_rows],
+            active_sinks_per_node=[len(r) for r in phase.initial_rows],
+        )
+        max_forwarded = max(phase.sent, default=0)
+    else:
+        programs = [
+            _RoundRobinProgram(v, coll, orders[v], values[v])
+            for v in range(net.n)
+        ]
+        trace = PipelineTrace(
+            initial_load=[
+                sum(len(q) for q in p.pending.values()) for p in programs
+            ],
+            active_sinks_per_node=[len(p.pending) for p in programs],
+        )
+        stats = net.run(programs, label=label)
+        delivered = {c: programs[c].delivered for c in order}
+        max_forwarded = max((p.sent for p in programs), default=0)
     trace.rounds = stats.rounds
     trace.messages = stats.messages
-    trace.max_forwarded = max((p.sent for p in programs), default=0)
-    delivered: Dict[int, Dict[int, Cost]] = {}
+    trace.max_forwarded = max_forwarded
     for c in order:
-        sink = programs[c].delivered
+        sink = delivered[c]
         if c in values[c] and is_finite(values[c][c]):
             sink.setdefault(c, values[c][c])  # the sink's own value is local
-        delivered[c] = sink
         # Completeness (Lemma 4.3): every live tree member got through.
         t = coll.trees[c]
         for x in range(net.n):
@@ -182,20 +283,27 @@ def short_range_delivery(
     values: Sequence[Dict[int, Cost]],
     threshold: Optional[float] = None,
     label: str = "short-range",
+    compress: Optional[bool] = None,
 ) -> Tuple[Dict[int, Dict[int, Cost]], BottleneckResult, PipelineTrace, PhaseLog]:
     """Algorithm 9 end to end on the prebuilt (and mutated) ``cq``.
 
     Returns ``(candidates, bottleneck_result, trace, log)``;
     ``candidates[c][x]`` min-combines the bottleneck-relay values (Steps
-    2-4) with the pipelined deliveries (Steps 7-9).
+    2-4) with the pipelined deliveries (Steps 7-9).  ``compress``
+    selects the round-compressed replay of every sub-phase (default:
+    the network's setting).
     """
     log = PhaseLog()
-    bres = compute_bottleneck(net, cq, threshold=threshold)  # Steps 1 + 5
+    bres = compute_bottleneck(net, cq, threshold=threshold,
+                              compress=compress)  # Steps 1 + 5
     log.add("bottleneck", bres.stats)
     candidates = relay_join(  # Steps 2-4
-        net, graph, bres.bottlenecks, cq.sources, log, label="bneck"
+        net, graph, bres.bottlenecks, cq.sources, log, label="bneck",
+        compress=compress,
     )
-    delivered, stats, trace = round_robin_pipeline(net, cq, values)  # Steps 7-9
+    delivered, stats, trace = round_robin_pipeline(
+        net, cq, values, compress=compress
+    )  # Steps 7-9
     log.add("round-robin", stats)
     for c, sink in delivered.items():
         row = candidates.setdefault(c, {})

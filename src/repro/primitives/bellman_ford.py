@@ -344,6 +344,300 @@ class _CompressedBellmanFord(CompressedPhase):
         return self.labels, self.parents
 
 
+class _BatchedBellmanFordSolver:
+    """Lockstep multi-source replay of `_CompressedBellmanFord`.
+
+    The per-source dynamics are completely independent — nothing a source
+    learns ever reaches another source's state — so running ``B`` phases
+    round-by-round in lockstep and screening all their announcements in
+    *one* vectorized pass per round produces, source by source, exactly
+    the labels, parents and :class:`PhaseSchedule` the per-source replay
+    produces (which the differential harness pins to the engine).  The
+    batching amortizes the per-round numpy fixed cost over every source
+    still running, which is where the sequential replay spends most of
+    its time in Steps 1/3/7.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        h: int,
+        reverse: bool,
+        inits_per_source: Sequence[Dict[int, Cost]],
+        fill_equal_parent: bool,
+    ) -> None:
+        self.graph = graph
+        self.h = h
+        self.reverse = reverse
+        self.inits_per_source = inits_per_source
+        self.fill_equal = fill_equal_parent
+        self._solved = False
+        self.schedules: List[PhaseSchedule] = []
+        self.labels: List[List[Cost]] = []
+        self.parents: List[List[int]] = []
+
+    def solve(self, net: CongestNetwork) -> None:
+        if self._solved:
+            return
+        graph, h = self.graph, self.h
+        n = graph.n
+        nb = len(self.inits_per_source)
+        off, dst_arr, w_arr, tb_arr = _announce_arrays(net, graph, self.reverse)
+        fill_equal = self.fill_equal
+
+        # All per-(source, node) state lives in flat global index space
+        # ``g = b * n + v`` so one vectorized pass per lockstep round
+        # covers every source still running.  The global send order —
+        # ascending g, i.e. source-major with senders ascending within a
+        # source — reproduces each source's engine order exactly (sources
+        # never interact, so their relative order is immaterial).  Labels
+        # are kept as three parallel arrays (weight, hops, tb); all
+        # arithmetic is the same IEEE-754 double / int64 arithmetic the
+        # engine performs, so the final tuples are bit-identical.
+        label0 = np.full(nb * n, np.inf)
+        lab_hops = np.zeros(nb * n, dtype=np.int64)
+        lab_tb = np.zeros(nb * n, dtype=np.int64)
+        gate = np.full(nb * n, np.inf)  # round-start weight gates
+        budget = np.zeros(nb * n, dtype=np.int64)
+        times_sent = np.zeros(nb * n, dtype=np.int64)
+        parent_flat = np.full(nb * n, -1, dtype=np.int64)
+        init_senders: List[int] = []
+        for b, inits in enumerate(self.inits_per_source):
+            for v, init in inits.items():
+                if init is not None and init != INF_COST:
+                    g = b * n + v
+                    label0[g] = init[0]
+                    lab_hops[g] = init[1]
+                    lab_tb[g] = init[2]
+                    gate[g] = init[0] + 1e-9 * (1.0 + abs(init[0]))
+            init_senders.extend(
+                b * n + v for v in sorted(
+                    v for v in inits
+                    if inits[v] is not None and inits[v] != INF_COST
+                )
+            )
+        messages = np.zeros(nb, dtype=np.int64)
+        last_send = np.full(nb, -1, dtype=np.int64)
+        ticks = np.zeros(nb, dtype=np.int64)
+        gs = np.asarray(init_senders, dtype=np.int64)
+
+        while len(gs):
+            gs = gs[budget[gs] < h]
+            if not len(gs):
+                break
+            bs = gs // n
+            vs = gs - bs * n
+            starts = off[vs]
+            degs = off[vs + 1] - starts
+            total = int(degs.sum())
+            times_sent[gs] += 1
+            # Per-source round accounting: a source participates in this
+            # round iff it has a sender; rounds with at least one actual
+            # message advance its last-send tick.
+            present = np.bincount(bs, minlength=nb).astype(bool)
+            msgs_b = np.bincount(bs, weights=degs, minlength=nb).astype(
+                np.int64
+            )
+            ticks[present] += 1
+            sent_b = msgs_b > 0
+            last_send[sent_b] = ticks[sent_b] - 1
+            messages += msgs_b
+            if not total:
+                break  # no sender has out-edges: nothing can ever improve
+
+            # CSR gather of every announcement this round, then the
+            # candidate labels exactly as each receiver would build them.
+            excl = np.concatenate(([0], np.cumsum(degs)[:-1]))
+            sel = np.repeat(starts - excl, degs) + np.arange(total)
+            dsts = dst_arr[sel]
+            bs_rep = np.repeat(bs, degs)
+            g_dst = bs_rep * n + dsts
+            cand_w = np.repeat(label0[gs], degs) + w_arr[sel]
+            alive = np.flatnonzero(cand_w <= gate[g_dst])
+            if not len(alive):
+                gs = alive
+                continue
+
+            # Winner reduction: within a round only the first-occurring
+            # lexicographically-minimal candidate per receiver can change
+            # the receiver's state — every other candidate loses
+            # ``cand < label`` to it (the mid-round gate only ever drops
+            # losers) — so the round's effect is exactly "winner vs
+            # round-start label", evaluated vectorized below.
+            cw_a = cand_w[alive]
+            hops_a = np.repeat(lab_hops[gs] + 1, degs)[alive]
+            tb_a = np.repeat(lab_tb[gs], degs)[alive] + tb_arr[sel[alive]]
+            g_a = g_dst[alive]
+            order = np.lexsort((alive, tb_a, hops_a, cw_a, g_a))
+            g_sorted = g_a[order]
+            firsts = np.ones(len(order), dtype=bool)
+            firsts[1:] = g_sorted[1:] != g_sorted[:-1]
+            win = order[firsts]
+            gw = g_a[win]
+            cww, hw, tw = cw_a[win], hops_a[win], tb_a[win]
+            w_u = label0[gw]
+            h_u = lab_hops[gw]
+            t_u = lab_tb[gw]
+            better = (cww < w_u) | (
+                (cww == w_u) & ((hw < h_u) | ((hw == h_u) & (tw < t_u)))
+            )
+            gimp = gw[better]
+            pos_rep = np.repeat(np.arange(len(gs), dtype=np.int64), degs)
+
+            if fill_equal:
+                # Parent fill (Step 7 routing): among receivers whose
+                # label does not improve this round and whose parent is
+                # still unset, the first in-order candidate whose
+                # fingerprint matches the round-start label records the
+                # predecessor edge (improved receivers get their parent
+                # from the winner, exactly as the sequential loop's last
+                # strict improvement would).
+                lab0_r = label0[g_a]
+                eq = (
+                    (hops_a == lab_hops[g_a])
+                    & (tb_a == lab_tb[g_a])
+                    & (np.abs(cw_a - lab0_r)
+                       <= 1e-9 * (1.0 + np.abs(lab0_r)))
+                )
+                if eq.any():
+                    improved_set = set(gimp.tolist())
+                    cand_idx = alive[eq]
+                    pos_f = pos_rep[cand_idx].tolist()
+                    g_f = g_dst[cand_idx].tolist()
+                    vs_l = vs.tolist()
+                    for pos, g in zip(pos_f, g_f):
+                        if parent_flat[g] < 0 and g not in improved_set:
+                            parent_flat[g] = vs_l[pos]
+
+            if len(gimp):
+                pos_w = pos_rep[alive][win][better]
+                bud_send = budget[gs][pos_w]  # round-start sender budgets
+                cwi = cww[better]
+                label0[gimp] = cwi
+                lab_hops[gimp] = hw[better]
+                lab_tb[gimp] = tw[better]
+                gate[gimp] = cwi + 1e-9 * (1.0 + np.abs(cwi))
+                budget[gimp] = bud_send + 1
+                parent_flat[gimp] = vs[pos_w]
+            gs = gimp  # ascending g already (winners are g-sorted)
+
+        track_edges = net.track_edges
+        degs_all = (off[1:] - off[:-1])
+        lab0_l = label0.tolist()
+        hops_l = lab_hops.tolist()
+        tb_l = lab_tb.tolist()
+        inf = float("inf")
+        for b in range(nb):
+            base = b * n
+            ts = times_sent[base:base + n]
+            idx = np.flatnonzero((ts > 0) & (degs_all > 0))
+            per_node = dict(zip(
+                idx.tolist(), (ts[idx] * degs_all[idx]).tolist()
+            ))
+            per_edge = None
+            if track_edges:
+                per_edge = {}
+                for v in idx.tolist():
+                    t = int(ts[v])
+                    for u in dst_arr[off[v]:off[v + 1]].tolist():
+                        per_edge[(v, u)] = t
+            self.schedules.append(PhaseSchedule(
+                rounds=int(last_send[b]) + 1,
+                messages=int(messages[b]),
+                per_node_sent=per_node,
+                per_edge_sent=per_edge,
+            ))
+            self.labels.append([
+                INF_COST if lab0_l[base + v] == inf
+                else (lab0_l[base + v], hops_l[base + v], tb_l[base + v])
+                for v in range(n)
+            ])
+            self.parents.append(parent_flat[base:base + n].tolist())
+        self._solved = True
+
+
+class _BatchMemberBellmanFord(CompressedPhase):
+    """One source's phase of a `_BatchedBellmanFordSolver` batch."""
+
+    def __init__(self, solver: _BatchedBellmanFordSolver, index: int,
+                 label: str) -> None:
+        self.solver = solver
+        self.index = index
+        self.label = label
+
+    def schedule(self, net: CongestNetwork) -> PhaseSchedule:
+        self.solver.solve(net)
+        return self.solver.schedules[self.index]
+
+    def evaluate(self, net: CongestNetwork):
+        self.solver.solve(net)
+        return self.solver.labels[self.index], self.solver.parents[self.index]
+
+
+def bellman_ford_many(
+    net: CongestNetwork,
+    graph: Graph,
+    sources: Sequence[int],
+    h: Optional[int] = None,
+    reverse: bool = False,
+    inits_per_source: Optional[Sequence[Optional[Dict[int, Cost]]]] = None,
+    fill_equal_parent: bool = False,
+    labels: Optional[Sequence[str]] = None,
+    compress: Optional[bool] = None,
+) -> List[SSSPResult]:
+    """Run one Bellman-Ford phase per source, batched when compressing.
+
+    The multi-source entry point of Steps 1, 3 and 7 (and of the relay
+    SSSPs): with the batched compressed mode enabled
+    (``net.use_compressed_batched``) every phase is solved by one
+    lockstep :class:`_BatchedBellmanFordSolver` pass — per-phase results
+    and :class:`RoundStats` stay bit-identical to the per-source runs,
+    phases are still charged one by one in order — otherwise it simply
+    loops :func:`bellman_ford`.
+    """
+    if h is None:
+        h = graph.n - 1
+    if inits_per_source is None:
+        inits_per_source = [None] * len(sources)
+    phase_labels = [
+        (labels[i] if labels is not None else "")
+        or f"bf(src={s},h={h},{'in' if reverse else 'out'})"
+        for i, s in enumerate(sources)
+    ]
+    if not net.use_compressed_batched(compress):
+        return [
+            bellman_ford(
+                net, graph, s, h=h, reverse=reverse,
+                inits=inits_per_source[i],
+                fill_equal_parent=fill_equal_parent,
+                label=phase_labels[i], compress=compress,
+            )
+            for i, s in enumerate(sources)
+        ]
+    inits_full = [
+        dict(inits) if inits is not None else {s: ZERO_COST}
+        for s, inits in zip(sources, inits_per_source)
+    ]
+    solver = _BatchedBellmanFordSolver(
+        graph, h, reverse, inits_full, fill_equal_parent
+    )
+    out: List[SSSPResult] = []
+    for i, s in enumerate(sources):
+        phase = _BatchMemberBellmanFord(solver, i, phase_labels[i])
+        (labs, parents), stats = net.run_compressed(phase)
+        out.append(SSSPResult(
+            source=s,
+            h=h,
+            reverse=reverse,
+            dist=[lab[0] for lab in labs],
+            hops=[lab[1] if lab != INF_COST else -1 for lab in labs],
+            parent=parents,
+            label=labs,
+            rounds=stats,
+        ))
+    return out
+
+
 def bellman_ford(
     net: CongestNetwork,
     graph: Graph,
@@ -476,4 +770,9 @@ def notify_children(
     return [sorted(p.children) for p in programs], stats
 
 
-__all__ = ["SSSPResult", "bellman_ford", "notify_children"]
+__all__ = [
+    "SSSPResult",
+    "bellman_ford",
+    "bellman_ford_many",
+    "notify_children",
+]

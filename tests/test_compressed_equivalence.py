@@ -23,12 +23,22 @@ from repro.blocker.derandomized import deterministic_blocker_set
 from repro.blocker.helpers import collect_ancestors, compute_vi_counts
 from repro.blocker.randomized import randomized_blocker_set
 from repro.blocker.scores import compute_scores, subtree_sums
+from repro.congest.metrics import PhaseLog
 from repro.congest.network import CongestNetwork
 from repro.csssp.builder import build_csssp
-from repro.csssp.pruning import remove_subtrees_sequential
+from repro.csssp.pruning import ParallelPruner, remove_subtrees_sequential
 from repro.experiments.registry import make_graph
 from repro.graphs.spec import ZERO_COST
-from repro.primitives.bellman_ford import bellman_ford, notify_children
+from repro.pipeline.bottleneck import compute_bottleneck, message_counts
+from repro.pipeline.broadcast_delivery import broadcast_delivery
+from repro.pipeline.relay import relay_join
+from repro.pipeline.reversed_qsink import reversed_qsink
+from repro.pipeline.short_range import round_robin_pipeline, short_range_delivery
+from repro.primitives.bellman_ford import (
+    bellman_ford,
+    bellman_ford_many,
+    notify_children,
+)
 from repro.primitives.bfs import build_bfs_tree
 from repro.primitives.broadcast import broadcast_from_root, gather_and_broadcast
 from repro.primitives.convergecast import (
@@ -269,6 +279,224 @@ def test_remove_subtrees_equivalent(family, seed, n):
         assert_stats_equal(stats_m, stats_c, f"remove {roots}")
         for x in coll_m.trees:
             assert coll_m.trees[x].removed == coll_c.trees[x].removed
+
+
+# ---------------------------------------------------------------------------
+# Step-6 delivery pipeline + batched Step-3/7 solvers (this PR's phases)
+
+
+def make_values(coll, rng, full=False):
+    """Fabricated Step-5 output: value triples per (source, sink) pair."""
+    values = []
+    for x in range(coll.n):
+        row = {}
+        for c, t in coll.trees.items():
+            if t.live(x) and (full or rng.random() < 0.8):
+                row[c] = (float(rng.randint(0, 30)), rng.randint(1, 6),
+                          rng.randint(1, 1 << 40))
+        values.append(row)
+    return values
+
+
+def in_collection_pair(graph, h=3, seed=0, prunes=2):
+    """Identical pruned in-CSSSPs + sinks on a (message, compressed) pair."""
+    net_m, net_c = nets(graph, track_edges=True)
+    rng = random.Random(seed * 7 + graph.n)
+    sinks = sorted(rng.sample(range(graph.n), min(5, graph.n // 2 + 1)))
+    coll_m, _ = build_csssp(net_m, graph, sinks, h, orientation="in")
+    coll_c = coll_m.copy()
+    for _ in range(prunes):
+        roots = rng.sample(range(graph.n), rng.randrange(1, 3))
+        remove_subtrees_sequential(net_m, coll_m, roots, compress=False)
+        remove_subtrees_sequential(net_c, coll_c, roots, compress=True)
+    return net_m, net_c, coll_m, coll_c, sinks, rng
+
+
+def assert_trace_equal(tm, tc):
+    assert (tm.rounds, tm.messages) == (tc.rounds, tc.messages)
+    assert tm.initial_load == tc.initial_load
+    assert tm.active_sinks_per_node == tc.active_sinks_per_node
+    assert tm.max_forwarded == tc.max_forwarded
+    assert tm.completion_round == tc.completion_round
+
+
+@pytest.mark.parametrize("family,seed,n", cases())
+@pytest.mark.parametrize("schedule_seed", [None, 11])
+def test_round_robin_pipeline_equivalent(family, seed, n, schedule_seed):
+    graph = make_graph(family, n, seed)
+    net_m, net_c, coll_m, coll_c, sinks, rng = in_collection_pair(
+        graph, seed=seed)
+    values = make_values(coll_m, rng)
+    dm, sm, tm = round_robin_pipeline(
+        net_m, coll_m, values, schedule_seed=schedule_seed)
+    dc, sc, tc = round_robin_pipeline(
+        net_c, coll_c, values, schedule_seed=schedule_seed)
+    assert dm == dc  # bit-identical delivered triples at every sink
+    assert_stats_equal(sm, sc, "round-robin")
+    assert_trace_equal(tm, tc)
+
+
+@pytest.mark.parametrize("family,seed,n", cases())
+def test_broadcast_delivery_equivalent(family, seed, n):
+    graph = make_graph(family, n, seed)
+    net_m, net_c, coll_m, _coll_c, sinks, rng = in_collection_pair(
+        graph, seed=seed)
+    values = make_values(coll_m, rng)
+    dm, sm = broadcast_delivery(net_m, sinks, values)
+    dc, sc = broadcast_delivery(net_c, sinks, values)
+    assert dm == dc
+    assert_stats_equal(sm, sc, "broadcast-delivery")
+
+
+@pytest.mark.parametrize("family,seed,n", cases())
+def test_relay_join_equivalent(family, seed, n):
+    graph = make_graph(family, n, seed)
+    net_m, net_c = nets(graph, track_edges=True)
+    rng = random.Random(seed)
+    relays = sorted(rng.sample(range(graph.n), min(3, graph.n)))
+    sinks = sorted(rng.sample(range(graph.n), min(4, graph.n)))
+    log_m, log_c = PhaseLog(), PhaseLog()
+    cand_m = relay_join(net_m, graph, relays, sinks, log_m)
+    cand_c = relay_join(net_c, graph, relays, sinks, log_c)
+    assert cand_m == cand_c  # bit-identical joined triples
+    assert_stats_equal(log_m.total(), log_c.total(), "relay-join")
+    assert_stats_equal(net_m.total, net_c.total, "relay network totals")
+
+
+@pytest.mark.parametrize("family,seed,n", cases())
+def test_parallel_pruner_equivalent(family, seed, n):
+    graph = make_graph(family, n, seed)
+    net_m, net_c, coll_m, coll_c, _sinks, rng = in_collection_pair(
+        graph, seed=seed, prunes=0)
+    counts_m, sm = message_counts(net_m, coll_m, compress=False)
+    counts_c, sc = message_counts(net_c, coll_c)
+    assert counts_m == counts_c  # Algorithm 14, batched vs oracle
+    assert_stats_equal(sm, sc, "message-counts")
+    pm = ParallelPruner(net_m, coll_m, counts_m)
+    pc = ParallelPruner(net_c, coll_c, {x: list(v) for x, v in counts_c.items()})
+    for _ in range(3):
+        roots = rng.sample(range(graph.n), rng.randrange(1, 4))
+        rm = pm.remove(roots)
+        rc = pc.remove(roots)
+        assert_stats_equal(rm, rc, f"prune {roots}")
+        assert pm.totals == pc.totals  # bit-identical float aggregates
+        for x in coll_m.trees:
+            assert coll_m.trees[x].removed == coll_c.trees[x].removed
+            assert pm.agg[x] == pc.agg[x]
+
+
+@pytest.mark.parametrize("family,seed,n", cases())
+def test_bottleneck_and_short_range_equivalent(family, seed, n):
+    graph = make_graph(family, n, seed)
+    net_m, net_c, coll_m, coll_c, sinks, rng = in_collection_pair(
+        graph, seed=seed, prunes=0)
+    values = make_values(coll_m, rng, full=True)
+    # A low threshold forces actual bottleneck picks through the pruner.
+    thr = max(2.0, graph.n / 2)
+    cm, bm, tm, lm = short_range_delivery(
+        net_m, graph, coll_m, values, threshold=thr)
+    cc, bc, tc, lc = short_range_delivery(
+        net_c, graph, coll_c, values, threshold=thr)
+    assert cm == cc
+    assert bm.bottlenecks == bc.bottlenecks
+    assert bm.totals == bc.totals
+    assert_stats_equal(bm.stats, bc.stats, "bottleneck")
+    assert_stats_equal(lm.total(), lc.total(), "short-range")
+    assert_trace_equal(tm, tc)
+
+
+@pytest.mark.parametrize("family,seed,n", cases(sizes=(20,)))
+def test_reversed_qsink_equivalent(family, seed, n):
+    """Step 6 end to end: Algorithm 8 + Algorithm 9 on both engines."""
+    graph = make_graph(family, n, seed)
+    net_m, net_c = nets(graph)
+    rng = random.Random(seed * 3 + n)
+    q_nodes = sorted(rng.sample(range(graph.n), min(5, graph.n // 3 + 1)))
+    coll_ref, _ = build_csssp(
+        CongestNetwork(graph, strict=False), graph, q_nodes, 3,
+        orientation="in")
+    values = make_values(coll_ref, rng, full=True)
+    qm = reversed_qsink(net_m, graph, q_nodes, values, h2=3)
+    qc = reversed_qsink(net_c, graph, q_nodes, values, h2=3)
+    assert qm.delivered == qc.delivered
+    assert qm.q_prime == qc.q_prime
+    assert qm.bottleneck.bottlenecks == qc.bottleneck.bottlenecks
+    assert_stats_equal(qm.stats, qc.stats, "reversed-qsink")
+    assert_trace_equal(qm.trace, qc.trace)
+    assert_stats_equal(net_m.total, net_c.total, "qsink network totals")
+
+
+@pytest.mark.parametrize("family,seed,n", cases())
+def test_bellman_ford_many_equivalent(family, seed, n):
+    """Batched lockstep solver vs per-source compressed vs the engine."""
+    graph = make_graph(family, n, seed)
+    rng = random.Random(seed + n)
+    srcs = sorted(rng.sample(range(graph.n), min(6, graph.n)))
+    for reverse in (False, True):
+        net_m = CongestNetwork(graph, track_edges=True)
+        net_p = CongestNetwork(graph, track_edges=True, compress=True,
+                               batch=False)
+        net_b = CongestNetwork(graph, track_edges=True, compress=True)
+        res_m = bellman_ford_many(net_m, graph, srcs, h=3, reverse=reverse)
+        res_p = bellman_ford_many(net_p, graph, srcs, h=3, reverse=reverse)
+        res_b = bellman_ford_many(net_b, graph, srcs, h=3, reverse=reverse)
+        for a, b, c in zip(res_m, res_p, res_b):
+            assert a.label == b.label == c.label
+            assert a.parent == b.parent == c.parent
+            assert_stats_equal(a.rounds, b.rounds, "bf-many per-source")
+            assert_stats_equal(a.rounds, c.rounds, "bf-many batched")
+        assert_stats_equal(net_m.total, net_b.total, "bf-many totals")
+
+
+@pytest.mark.parametrize("family,seed,n", cases())
+def test_bellman_ford_many_multi_init_equivalent(family, seed, n):
+    """The Step-7 shape: per-source inits + equal-parent fill, batched."""
+    graph = make_graph(family, n, seed)
+    rng = random.Random(seed * 5 + n)
+    srcs = sorted(rng.sample(range(graph.n), min(4, graph.n)))
+    inits = []
+    for x in srcs:
+        row = {x: ZERO_COST}
+        for c in rng.sample(range(graph.n), min(3, graph.n - 1)):
+            if c != x:
+                row[c] = (float(rng.randint(0, 9)), rng.randint(1, 5),
+                          rng.randint(1, 1 << 40))
+        inits.append(row)
+    net_m = CongestNetwork(graph, track_edges=True)
+    net_b = CongestNetwork(graph, track_edges=True, compress=True)
+    res_m = bellman_ford_many(net_m, graph, srcs, h=2,
+                              inits_per_source=inits,
+                              fill_equal_parent=True)
+    res_b = bellman_ford_many(net_b, graph, srcs, h=2,
+                              inits_per_source=inits,
+                              fill_equal_parent=True)
+    for a, b in zip(res_m, res_b):
+        assert a.label == b.label and a.parent == b.parent
+        assert_stats_equal(a.rounds, b.rounds, "bf-many multi-init")
+
+
+@pytest.mark.parametrize("family,seed,n", cases())
+@pytest.mark.parametrize("removals", [0, 2])
+def test_batched_convergecasts_match_per_phase(family, seed, n, removals):
+    """Batched multi-tree phases vs per-phase compressed vs the engine."""
+    graph = make_graph(family, n, seed)
+    net_m, net_c, coll_m, coll_c = build_collection_pair(
+        graph, removals=removals, seed=seed)
+    net_p = CongestNetwork(graph, compress=True, batch=False)
+
+    score_m, per_m, stats_m = compute_scores(net_m, coll_m, compress=False)
+    score_p, per_p, stats_p = compute_scores(net_p, coll_c)  # per-phase
+    score_b, per_b, stats_b = compute_scores(net_c, coll_c)  # batched
+    assert score_m == score_p == score_b
+    assert per_m == per_p == per_b
+    assert_stats_equal(stats_m, stats_p, "scores per-phase")
+    assert_stats_equal(stats_m, stats_b, "scores batched")
+
+    vi = set(random.Random(seed).sample(range(graph.n), graph.n // 3 + 1))
+    beta_m, vm = compute_vi_counts(net_m, coll_m, vi, compress=False)
+    beta_b, vb = compute_vi_counts(net_c, coll_c, vi)
+    assert beta_m == beta_b
+    assert_stats_equal(vm, vb, "vi-counts batched")
 
 
 # ---------------------------------------------------------------------------

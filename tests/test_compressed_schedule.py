@@ -140,6 +140,99 @@ def test_schedule_formulas_on_random_trees_full(seed):
 
 
 # ---------------------------------------------------------------------------
+# Step-6 round-robin pipeline: frame counts, q-sink ordering, round replay
+
+
+def random_qsink_instance(seed: int, max_n: int = 20):
+    """A random pruned in-CSSSP + random per-(source, sink) values.
+
+    Random graphs (via the registry families), random blocker-style sink
+    sets, random prunes and a random value pattern — the inputs whose
+    frame structure the Step-6 schedule math must predict.
+    """
+    from repro.csssp.builder import build_csssp
+    from repro.csssp.pruning import remove_subtrees_sequential
+    from repro.experiments.registry import make_graph
+
+    rng = random.Random(seed)
+    family = rng.choice(["er", "grid", "path", "star", "ws"])
+    n = rng.randint(6, max_n)
+    graph = make_graph(family, n, seed % 5 + 1)
+    n = graph.n
+    net = CongestNetwork(graph, strict=False)
+    sinks = sorted(rng.sample(range(n), rng.randint(1, max(1, n // 3))))
+    coll, _ = build_csssp(net, graph, sinks, rng.randint(2, 4),
+                          orientation="in")
+    for _ in range(rng.randrange(0, 3)):
+        remove_subtrees_sequential(
+            net, coll, rng.sample(range(n), rng.randrange(1, 3)))
+    values = []
+    for x in range(n):
+        row = {}
+        for c, t in coll.trees.items():
+            if t.live(x) and rng.random() < 0.75:
+                row[c] = (float(rng.randint(0, 20)), rng.randint(1, 5),
+                          rng.randint(1, 1 << 30))
+        values.append(row)
+    return graph, coll, values, rng
+
+
+def check_round_robin_schedule(seed: int) -> None:
+    """The pipeline replay against the engine and the frame-sum formulas."""
+    from repro.pipeline.short_range import round_robin_pipeline
+
+    graph, coll, values, rng = random_qsink_instance(seed)
+    n = graph.n
+    net_m = CongestNetwork(graph, track_edges=True)
+    net_c = CongestNetwork(graph, track_edges=True, compress=True)
+    coll_c = coll.copy()
+    schedule_seed = rng.choice([None, seed])  # q-sink ordering: both orders
+    dm, sm, tm = round_robin_pipeline(net_m, coll, values,
+                                      schedule_seed=schedule_seed)
+    dc, sc, tc = round_robin_pipeline(net_c, coll_c, values,
+                                      schedule_seed=schedule_seed)
+    assert dm == dc
+    assert stats_tuple(sm) == stats_tuple(sc)
+    assert sm.per_edge_sent == sc.per_edge_sent
+
+    # Frame-structure formulas (independent of the service order): every
+    # queued record climbs its sink tree once, so total messages are the
+    # sum of queue depths and node v forwards exactly the records whose
+    # tree path crosses v.
+    expect_msgs = 0
+    expect_sent = [0] * n
+    for x in range(n):
+        for c in values[x]:
+            t = coll.trees[c]
+            if x == c or not t.live(x):
+                continue
+            path = t.path_from_root(x)  # c .. x
+            expect_msgs += len(path) - 1
+            for v in path[1:]:  # every node below the sink forwards it
+                expect_sent[v] += 1
+    assert sm.messages == expect_msgs
+    assert sm.per_node_sent == {
+        v: c for v, c in enumerate(expect_sent) if c
+    }
+    # The sink received every record: the trace's load conservation.
+    assert sum(tm.initial_load) == sum(
+        1 for x in range(n) for c in values[x]
+        if x != c and coll.trees[c].live(x)
+    )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_round_robin_schedule_on_random_instances(seed):
+    check_round_robin_schedule(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(12, 60))
+def test_round_robin_schedule_on_random_instances_full(seed):
+    check_round_robin_schedule(seed)
+
+
+# ---------------------------------------------------------------------------
 # hypothesis property test (skipped when hypothesis is not installed)
 
 try:
@@ -156,3 +249,9 @@ if HAVE_HYPOTHESIS:
     @given(seed=st.integers(min_value=0, max_value=100_000))
     def test_property_schedule_formulas(seed):
         check_tree(seed)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_property_round_robin_schedule(seed):
+        """Step-6 schedule math on hypothesis-drawn graphs/blocker sets."""
+        check_round_robin_schedule(seed)
