@@ -4,12 +4,17 @@ Every bench measures *CONGEST rounds* (the paper's metric); wall time is a
 side effect pytest-benchmark records.  Each bench prints its table/series
 (the same rows the paper's artifact would show) and also writes it to
 ``benchmarks/results/<name>.txt`` so the report survives output capture.
+Machine-readable bench records go through :func:`emit_json`, which writes
+with the same atomic sorted-keys convention as the committed
+``benchmarks/results/REPORT.json`` so diffs stay stable.
 """
 
 from __future__ import annotations
 
 import pathlib
 import sys
+
+from repro.analysis.sweep_report import write_json
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -21,6 +26,16 @@ def emit(name: str, text: str) -> None:
     sys.stderr.write(banner)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable bench record under benchmarks/results/.
+
+    Delegates to :func:`repro.analysis.sweep_report.write_json` — the
+    single home of the atomic sorted-keys convention ``REPORT.json``
+    uses — so tracked trajectory files produce minimal diffs.
+    """
+    return write_json(RESULTS_DIR / name, payload)
 
 
 def once(benchmark, fn):

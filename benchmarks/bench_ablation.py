@@ -15,12 +15,15 @@ fixed:
 
 Each ablation is one ``3phase`` scenario matrix over the driver axes, run
 through :mod:`repro.experiments`; the per-scenario seed derives from the
-instance only, so paired arms see identical random draws.
+instance only, so paired arms see identical random draws.  Grouping and
+rendering go through the shared sweep-report helpers
+(:mod:`repro.analysis.sweep_report`) like every other bench table.
 """
 
 from __future__ import annotations
 
 from repro.analysis import render_table
+from repro.analysis.sweep_report import records_by_size
 from repro.experiments import ScenarioMatrix, SweepExecutor
 
 from _common import emit, once
@@ -32,10 +35,7 @@ def run_matrix(**axes):
     matrix = ScenarioMatrix(families=("er",), sizes=NS, seeds=(29,),
                             algorithms=("3phase",), **axes)
     records = SweepExecutor(cache_dir=None, workers=1).run(matrix.expand())
-    by_n = {}
-    for rec in records:
-        by_n.setdefault(rec["spec"]["n"], []).append(rec)
-    return by_n
+    return records_by_size(records)
 
 
 def step6_rounds(rec):

@@ -5,9 +5,11 @@ algorithm and report each step's measured rounds and share of the total —
 no step may dominate asymptotically, and the shares should stay stable as
 ``n`` grows.
 
-Runs go through the scenario-sweep subsystem; the per-step ledger
-(rounds and max node congestion per step label) comes straight off the
-result records.  Note the instances follow the shared registry's ER
+Runs go through the scenario-sweep subsystem and the grouping goes
+through the shared sweep-report helpers
+(:mod:`repro.analysis.sweep_report`); the per-step ledger (rounds and
+max node congestion per step label) comes straight off the result
+records.  Note the instances follow the shared registry's ER
 density ``p = max(0.1, 4/n)`` (0.148 / 0.1 at n = 27 / 64) — slightly
 different graphs than the seed artifact's hand-picked ``p = 0.16 / 0.08``,
 so per-step numbers are not comparable with pre-subsystem reports.
@@ -16,6 +18,7 @@ so per-step numbers are not comparable with pre-subsystem reports.
 from __future__ import annotations
 
 from repro.analysis import render_table
+from repro.analysis.sweep_report import records_by_size
 from repro.experiments import ScenarioMatrix, SweepExecutor
 
 from _common import emit, once
@@ -37,7 +40,8 @@ def test_step_budget(benchmark):
     def run():
         return SweepExecutor(cache_dir=None, workers=1).run(matrix.expand())
 
-    records = once(benchmark, run)
+    by_n = records_by_size(once(benchmark, run))
+    records = [by_n[n][0] for n in sorted(by_n)]
     rows = []
     for prefix, label in STEP_GROUPS:
         row = [label]

@@ -43,7 +43,6 @@ from __future__ import annotations
 import argparse
 import gc
 import hashlib
-import json
 import statistics
 import sys
 import time
@@ -56,7 +55,7 @@ from repro.apsp import deterministic_apsp
 from repro.congest.network import CongestNetwork
 from repro.experiments.registry import make_graph
 
-from _common import RESULTS_DIR, emit, once
+from _common import RESULTS_DIR, emit, emit_json, once
 from bench_engine_fastpath import SeedCongestNetwork
 
 SEED = 1
@@ -142,15 +141,18 @@ def batched_speedup(graph) -> float:
 
 
 def write_json(rows: List[dict], speedups: Dict[str, float]) -> None:
-    """Persist the machine-readable perf record for trend tracking."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    JSON_PATH.write_text(json.dumps({
+    """Persist the machine-readable perf record for trend tracking.
+
+    Goes through the shared :func:`_common.emit_json` path (atomic,
+    sorted keys) like the sweep report's ``REPORT.json``.
+    """
+    emit_json(JSON_PATH.name, {
         "bench": "large_n",
         "schema": 1,
         "seed": SEED,
         "rows": rows,
         "speedups": speedups,
-    }, indent=2) + "\n")
+    })
 
 
 def large_n_report(sizes: List[int], smoke: bool):

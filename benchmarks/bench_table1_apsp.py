@@ -2,8 +2,8 @@
 
 For each implemented APSP family: total CONGEST rounds on identical inputs
 across a sweep of ``n``, the fitted growth exponent ``alpha`` (log-log
-least squares), and rounds normalized by the claimed bound ``n^alpha_c``.
-The paper's shape prediction: exponents order as
+least squares), and the slope of the series normalized by the claimed
+bound.  The paper's shape prediction: exponents order as
 
     naive-bf (~n * D) vs det-n53 > det-n32 > {rand-n43, det-n43}
 
@@ -11,13 +11,17 @@ with the two ``n^{4/3}`` families flattest after normalization.  Quoted
 rows of Table 1 we do not implement are appended as bounds-only lines.
 
 All runs go through the scenario-sweep subsystem
-(:mod:`repro.experiments`): the benches declare a matrix and read the
-result records instead of hand-rolling the loops.
+(:mod:`repro.experiments`) and all fitting/rendering goes through the
+shared sweep-report path (:mod:`repro.analysis.sweep_report`) — the same
+claimed bounds, normalization, and flatness verdicts that ``python -m
+repro report`` uses for ``docs/RESULTS.md``, so a bench table can never
+disagree with the committed report about what a family's exponent is.
 """
 
 from __future__ import annotations
 
-from repro.analysis import TABLE1_ROWS, fit_exponent, normalized_series, render_table
+from repro.analysis import TABLE1_ROWS, fit_groups, render_fit_table, render_table
+from repro.analysis.sweep_report import group_records
 from repro.experiments import ScenarioMatrix, SweepExecutor
 
 from _common import emit, once
@@ -28,47 +32,38 @@ ALGOS = ("naive-bf", "det-n53", "det-n32", "rand-n43", "det-n43")
 
 def run_matrix(matrix: ScenarioMatrix):
     """Execute a matrix (no cache: benches measure, they don't memoize)."""
-    records = SweepExecutor(cache_dir=None, workers=1).run(matrix.expand())
-    by_algo = {}
-    for rec in records:
-        by_algo.setdefault(rec["spec"]["algorithm"], []).append(rec)
-    return by_algo
+    return SweepExecutor(cache_dir=None, workers=1).run(matrix.expand())
+
+
+def quoted_rows() -> str:
+    """Table-1 rows whose algorithms are out of implementation scope."""
+    lines = []
+    for spec in TABLE1_ROWS:
+        if spec.run is None:
+            lines.append(f"{spec.key}: {spec.claimed} ({spec.reference}, "
+                         f"{spec.kind.lower()}; bound quoted, out of "
+                         f"implementation scope)")
+    return "\n".join(lines)
 
 
 def test_table1_er_sweep(benchmark):
     matrix = ScenarioMatrix(families=("er",), sizes=SWEEP_NS,
                             algorithms=ALGOS, seeds=(7,))
 
-    data = once(benchmark, lambda: run_matrix(matrix))
-    rows = []
-    for spec in TABLE1_ROWS:
-        if spec.run is None:
-            rows.append(
-                [spec.key, spec.reference, spec.kind, spec.claimed,
-                 "(bound quoted; out of implementation scope)", "", ""]
-            )
-            continue
-        series = data[spec.key]
-        ns = [rec["spec"]["n"] for rec in series]
-        rounds = [rec["rounds"] for rec in series]
-        fit = fit_exponent(ns, rounds)
-        norm = normalized_series(ns, rounds, spec.claimed_alpha)
-        rows.append(
-            [spec.key, spec.reference, spec.kind, spec.claimed,
-             " ".join(str(r) for r in rounds),
-             f"{fit.alpha:.2f}",
-             f"{norm[0]:.1f}->{norm[-1]:.1f}"]
-        )
-        benchmark.extra_info[spec.key] = {"ns": ns, "rounds": rounds,
-                                          "alpha": fit.alpha}
-    table = render_table(
-        ["algorithm", "reference", "kind", "claimed bound",
-         f"rounds at n={list(SWEEP_NS)}", "fitted alpha",
-         "rounds/n^alpha_claimed"],
-        rows,
-        title="Table 1 (measured, Erdos-Renyi sweep; all outputs verified exact)",
+    records = once(benchmark, lambda: run_matrix(matrix))
+    fits = fit_groups(records)
+    for f in fits:
+        rounds = f.metrics["rounds"]
+        benchmark.extra_info[f.algorithm] = {
+            "ns": rounds.ns, "rounds": rounds.values,
+            "alpha": rounds.fit.alpha, "flat": f.flat,
+        }
+    table = render_fit_table(
+        fits,
+        title="Table 1 (measured, Erdos-Renyi sweep; all outputs verified "
+              "exact; fits via the repro-report path)",
     )
-    emit("table1_er", table)
+    emit("table1_er", table + "\n" + quoted_rows())
 
 
 def test_table1_message_complexity(benchmark):
@@ -81,11 +76,12 @@ def test_table1_message_complexity(benchmark):
     matrix = ScenarioMatrix(families=("er",), sizes=(24, 48),
                             algorithms=ALGOS, seeds=(7,))
 
-    data = once(benchmark, lambda: run_matrix(matrix))
+    records = once(benchmark, lambda: run_matrix(matrix))
     rows = []
-    for key, series in data.items():
-        row = [key]
-        for rec in series:
+    for (algo, _family, _w), by_n in sorted(group_records(records).items()):
+        row = [algo]
+        for n in sorted(by_n):
+            rec = by_n[n][0]
             row.append(rec["messages"])
             row.append(rec["max_node_congestion"])
         rows.append(row)
@@ -103,10 +99,10 @@ def test_table1_grid_spotcheck(benchmark):
     matrix = ScenarioMatrix(families=("grid",), sizes=(24, 48),
                             algorithms=ALGOS, seeds=(1,))
 
-    data = once(benchmark, lambda: run_matrix(matrix))
+    records = once(benchmark, lambda: run_matrix(matrix))
     rows = []
-    for key, series in data.items():
-        rows.append([key] + [rec["rounds"] for rec in series])
+    for (algo, _family, _w), by_n in sorted(group_records(records).items()):
+        rows.append([algo] + [by_n[n][0]["rounds"] for n in sorted(by_n)])
     table = render_table(
         ["algorithm", "rounds n~24", "rounds n~48"],
         rows,

@@ -34,11 +34,30 @@ class ExponentFit:
 
 
 def fit_exponent(ns: Sequence[float], rounds: Sequence[float]) -> ExponentFit:
-    """Fit ``rounds ~ C n^alpha`` over the sweep (requires >= 2 points)."""
-    x = np.log(np.asarray(ns, dtype=float))
-    y = np.log(np.asarray(rounds, dtype=float))
-    if len(x) < 2:
+    """Fit ``rounds ~ C n^alpha`` over the sweep (requires >= 2 points).
+
+    Every point must be positive and finite — a log-log fit is undefined
+    otherwise (e.g. the message count of a scenario that never sends).
+    Offending points are named in the :class:`ValueError` so callers can
+    surface them as a "not fittable" row instead of propagating ``-inf`` /
+    ``nan`` into downstream tables.
+    """
+    ns_arr = np.asarray(ns, dtype=float)
+    vals = np.asarray(rounds, dtype=float)
+    if len(ns_arr) < 2:
         raise ValueError("need at least two sweep points to fit an exponent")
+    bad = [
+        (float(n), float(v))
+        for n, v in zip(ns_arr, vals)
+        if not (np.isfinite(n) and np.isfinite(v) and n > 0 and v > 0)
+    ]
+    if bad:
+        raise ValueError(
+            "log-log fit needs positive finite points; offending (n, value) "
+            f"pairs: {bad}"
+        )
+    x = np.log(ns_arr)
+    y = np.log(vals)
     slope, intercept = np.polyfit(x, y, 1)
     pred = slope * x + intercept
     ss_res = float(((y - pred) ** 2).sum())

@@ -1,8 +1,11 @@
 """Plain-text rendering of benchmark outputs.
 
-The benches print the same rows/series the paper reports (Table 1 plus the
-derived figures F1-F8 of DESIGN.md); these helpers keep the formatting in
-one place and the bench files declarative.
+The benches print the same rows/series the paper reports (Table 1 plus
+the derived figures F1-F8); these helpers keep the formatting in one
+place and the bench files declarative.  The markdown twin — the
+committed results page — is rendered by
+:func:`repro.analysis.sweep_report.render_results_md` from the same
+fitted rows, so the two output styles cannot drift apart.
 """
 
 from __future__ import annotations

@@ -8,6 +8,11 @@ result without writing code:
 * ``sweep`` — expand a scenario matrix (family x size x weights x
   algorithm x seed) and run it through the parallel sweep executor with
   JSON result caching (:mod:`repro.experiments`).
+* ``report`` — the cross-family complexity report: fit growth exponents
+  from cached sweep records, compare them against each algorithm
+  family's claimed bound, and regenerate ``docs/RESULTS.md`` +
+  ``benchmarks/results/REPORT.json`` (``--check`` fails when the
+  committed artifacts are stale; CI runs it).
 * ``table1`` — regenerate Table 1 (measured) on a size sweep.
 * ``blocker`` — run the four blocker constructions on one instance.
 * ``step6`` — standalone reversed q-sink comparison (pipelined vs
@@ -25,6 +30,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import fit_exponent, render_table, sweep_table
+from repro.analysis.sweep_report import FLAT_TOL
 from repro.analysis.tables import TABLE1_ROWS, table1_measured
 from repro.congest import CongestNetwork
 from repro.csssp import build_csssp
@@ -118,6 +124,103 @@ def cmd_sweep(args) -> int:
     records = executor.run(specs, progress=progress)
     print(f"done: {executor.executed} executed, {executor.cached} from cache")
     print(sweep_table(records, title=f"scenario sweep ({len(records)} runs)"))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis import sweep_report
+
+    # Status lines go to stderr so `--format json`/`markdown` stdout
+    # stays machine-consumable (e.g. `repro report --format json | jq`).
+    def status(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    record_sets = []
+    sources = []
+    run_sweep = args.smoke or not args.records
+    if run_sweep:
+        matrix = sweep_report.report_matrix()
+        specs = matrix.expand()
+        executor = SweepExecutor(cache_dir=args.cache_dir,
+                                 workers=args.workers)
+        status(f"report: generating sweep ({len(specs)} scenarios, "
+               f"cache={args.cache_dir or 'off'})")
+        record_sets.append(executor.run(specs))
+        sources.append("generating sweep")
+        status(f"  {executor.executed} executed, "
+               f"{executor.cached} from cache")
+    try:
+        for d in args.records or []:
+            record_sets.append(sweep_report.load_records([d]))
+            sources.append(str(d))
+        records = sweep_report.merge_records(record_sets, sources=sources)
+    except sweep_report.RecordError as exc:
+        raise SystemExit(f"repro report: {exc}") from exc
+    if not records:
+        raise SystemExit("repro report: no usable records (run with --smoke "
+                         "or point --records at a cached sweep directory)")
+
+    fits = sweep_report.fit_groups(records, flat_tol=args.flat_tol)
+    report = sweep_report.build_report(records, flat_tol=args.flat_tol,
+                                       fits=fits)
+    results_path = args.results or str(sweep_report.RESULTS_MD_PATH)
+    json_path = args.json or str(sweep_report.REPORT_JSON_PATH)
+    # Guard the committed artifacts: a report that includes user-supplied
+    # record dirs is a different document than the committed
+    # report-preset one, so a default path is only touched — or diffed
+    # against — when the user names it explicitly.
+    if args.check:
+        if args.records and run_sweep:
+            raise SystemExit(
+                "repro report: --check cannot combine --smoke with "
+                "--records (the merged report never matches the committed "
+                "preset-only artifacts); drop one of them"
+            )
+        if args.records and (args.results is None or args.json is None):
+            raise SystemExit(
+                "repro report: --check with custom --records would diff "
+                "against the committed report-preset artifacts; pass both "
+                "--results and --json for your own artifacts, or drop "
+                "--records to check the committed report"
+            )
+        problems = sweep_report.check_report(
+            report, results_path=results_path, json_path=json_path)
+        if problems:
+            for problem in problems:
+                print(f"repro report --check: {problem}")
+            print("regenerate with: python -m repro report")
+            return 1
+        print(f"report is fresh ({results_path}, {json_path})")
+        return 0
+
+    if args.records:
+        # Write only the artifacts the user named; never land a
+        # custom-records report on the committed default paths.
+        targets = [p for p in (args.results, args.json) if p is not None]
+        sweep_report.write_report(
+            report, results_path=args.results, json_path=args.json)
+        if targets:
+            status(f"wrote {' and '.join(targets)} "
+                   f"({report['scenarios']} scenarios, "
+                   f"{len(report['families'])} family groups)")
+        else:
+            status("custom --records without --results/--json: printing "
+                   "only (pass --results/--json to write)")
+    else:
+        sweep_report.write_report(
+            report, results_path=results_path, json_path=json_path)
+        status(f"wrote {results_path} and {json_path} "
+               f"({report['scenarios']} scenarios, "
+               f"{len(report['families'])} family groups)")
+    if args.format == "json":
+        print(sweep_report.render_report_json(report), end="")
+    elif args.format == "markdown":
+        print(sweep_report.render_results_md(report), end="")
+    else:
+        print(sweep_report.render_fit_table(
+            fits, title="cross-family exponent fits vs claimed bounds"))
+        for line in sweep_report.verdict_lines(report):
+            print(f"- {line}")
     return 0
 
 
@@ -245,6 +348,47 @@ def build_parser() -> argparse.ArgumentParser:
                         "(bit-identical records, faster simulation)")
     p.add_argument("--no-verify", action="store_true")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "report",
+        help="cross-family complexity report: fitted exponents vs claimed "
+             "bounds, from cached sweep records",
+    )
+    p.add_argument("--records", nargs="+",
+                   help="cached sweep record directories to merge "
+                        "(validated against scenario hashes); without "
+                        "this the generating 'report' preset sweep runs "
+                        "inline")
+    p.add_argument("--smoke", action="store_true",
+                   help="run the generating 'report' preset sweep inline "
+                        "(cached under --cache-dir) and merge it with any "
+                        "--records directories")
+    p.add_argument("--cache-dir", default="benchmarks/results/records",
+                   help="record cache for the generating sweep "
+                        "(default: %(default)s)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the generating sweep")
+    p.add_argument("--format", choices=("table", "markdown", "json"),
+                   default="table",
+                   help="what to print to stdout after writing the "
+                        "artifacts (default: the verdict table)")
+    p.add_argument("--check", action="store_true",
+                   help="write no report artifacts (the generating "
+                        "sweep still fills --cache-dir); exit 1 when "
+                        "the committed docs/RESULTS.md or REPORT.json "
+                        "is stale (wall-clock 'timing' section ignored)")
+    p.add_argument("--results",
+                   help="rendered report path (default: docs/RESULTS.md; "
+                        "with custom --records the default paths are "
+                        "only written when named explicitly)")
+    p.add_argument("--json",
+                   help="machine-readable report path (default: "
+                        "benchmarks/results/REPORT.json; same guard as "
+                        "--results)")
+    p.add_argument("--flat-tol", type=float, default=FLAT_TOL,
+                   help="adjusted-slope tolerance for the flatness "
+                        "verdict (default: %(default)s)")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("table1", help="regenerate Table 1 (measured)")
     p.add_argument("--family", choices=GRAPH_FAMILIES, default="er")

@@ -6,17 +6,25 @@ concrete ``(graph family, size, weight model, algorithm, seed)`` run; a
 :class:`ScenarioMatrix` is the declarative cross product that expands to
 many; a :class:`SweepExecutor` runs them serially or across worker
 processes with deterministic per-scenario seeding and a JSON result cache
-keyed by scenario hash (re-runs skip finished scenarios).  ``python -m
-repro sweep`` is the CLI entry; :func:`repro.analysis.tables.sweep_table`
-aggregates the records into the Table-1-style report.
+keyed by scenario hash (re-runs skip finished scenarios).  The registry
+(:mod:`~repro.experiments.registry`) names the shared axes — graph
+families, weight models, algorithms — and each algorithm family's
+claimed round bound (:class:`ClaimedBound` / :data:`CLAIMED_BOUNDS`),
+which the sweep-level analysis (:mod:`repro.analysis.sweep_report`)
+compares fitted exponents against.  ``python -m repro sweep`` is the CLI
+entry; :func:`repro.analysis.tables.sweep_table` aggregates records into
+the Table-1-style report and ``python -m repro report`` turns cached
+record directories into the committed cross-family results page.
 """
 
 from repro.experiments.executor import SweepExecutor
 from repro.experiments.registry import (
     ALGORITHMS,
+    CLAIMED_BOUNDS,
     GRAPH_FAMILIES,
     SWEEP_PRESETS,
     WEIGHT_MODELS,
+    ClaimedBound,
     make_graph,
 )
 from repro.experiments.runner import run_scenario
@@ -24,9 +32,11 @@ from repro.experiments.spec import ScenarioMatrix, ScenarioSpec
 
 __all__ = [
     "ALGORITHMS",
+    "CLAIMED_BOUNDS",
     "GRAPH_FAMILIES",
     "SWEEP_PRESETS",
     "WEIGHT_MODELS",
+    "ClaimedBound",
     "ScenarioMatrix",
     "ScenarioSpec",
     "SweepExecutor",

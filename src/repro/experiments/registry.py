@@ -4,12 +4,20 @@ This is the single registry the CLI, the sweep subsystem, and the
 benchmarks share, so a scenario named ``("er", 32, "integer", "det-n43",
 seed=7)`` means the same instance everywhere.  Everything here is fully
 deterministic in ``seed``.
+
+The registry also carries each algorithm family's *claimed* round bound
+(:class:`ClaimedBound` / :data:`CLAIMED_BOUNDS`) — the exponent, the
+polylog factor the ``O~`` hides, and the paper locus the bound comes from
+— so the sweep-level analysis (:mod:`repro.analysis.sweep_report`) can
+compare fitted growth exponents against the paper's claims without every
+bench re-declaring them.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from repro.apsp import (
     baseline_n32_apsp,
@@ -39,6 +47,68 @@ ALGORITHMS: Dict[str, Callable] = {
     "rand-n43": randomized_apsp,
     "det-n53": five_thirds_apsp,
     "naive-bf": naive_bf_apsp,
+}
+
+@dataclass(frozen=True)
+class ClaimedBound:
+    """One algorithm family's claimed CONGEST round bound.
+
+    ``alpha`` is the polynomial exponent of the claimed bound
+    (``rounds = O~(n^alpha)``) and ``polylog`` the power of ``log n``
+    the ``O~`` hides; the sweep report divides measured series by
+    ``n^alpha * (ln n)^polylog`` and checks the result for flatness.
+    ``message_alpha`` is the trivial message-complexity ceiling that
+    follows from the round bound (``<= 2m`` messages per round, and the
+    sweep families keep ``m = Theta(n)``, so ``alpha + 1`` unless a
+    tighter exponent is claimed).  ``source`` names the paper locus the
+    bound is quoted from, so every verdict line in the report is
+    traceable to a step/theorem.
+    """
+
+    algorithm: str
+    bound: str  #: the paper-quoted bound, e.g. ``"O~(n^{4/3})"``
+    alpha: float
+    source: str
+    polylog: int = 1
+    message_alpha: Optional[float] = None
+
+    @property
+    def messages_alpha(self) -> float:
+        """Claimed message exponent (defaults to ``alpha + 1``)."""
+        return self.message_alpha if self.message_alpha is not None \
+            else self.alpha + 1.0
+
+
+#: Claimed round bounds per algorithm family (keys of :data:`ALGORITHMS`).
+#: Single source of truth: Table 1's ``claimed_alpha`` column
+#: (:data:`repro.analysis.tables.TABLE1_ROWS`) and the sweep report's
+#: verdict lines both read from here.
+CLAIMED_BOUNDS: Dict[str, ClaimedBound] = {
+    "det-n43": ClaimedBound(
+        "det-n43", "O~(n^{4/3})", 4.0 / 3.0,
+        "Theorem 1.1 — Algorithm 1, Steps 1-7 (derandomized blocker, "
+        "pipelined Step 6)",
+    ),
+    "rand-n43": ClaimedBound(
+        "rand-n43", "O~(n^{4/3})", 4.0 / 3.0,
+        "Agarwal-Ramachandran [1] — Algorithm 1 with the randomized "
+        "Algorithm-2 blocker",
+    ),
+    "det-n32": ClaimedBound(
+        "det-n32", "O~(n^{3/2})", 1.5,
+        "Agarwal et al. [2] — baseline with h = n^{1/2} and the greedy "
+        "blocker",
+    ),
+    "det-n53": ClaimedBound(
+        "det-n53", "O~(n^{5/3})", 5.0 / 3.0,
+        "Section 2 strawman — broadcast Step 6 dominates at n^{5/3}",
+    ),
+    "naive-bf": ClaimedBound(
+        "naive-bf", "O(n * hop-diameter)", 2.0,
+        "folklore — one n-hop Bellman-Ford per source, worst case D = "
+        "Theta(n)",
+        polylog=0,
+    ),
 }
 
 #: Edge-weight models, as generator keyword overrides.
@@ -93,6 +163,17 @@ SWEEP_PRESETS: Dict[str, Dict[str, object]] = {
         "strict": False,
         "compress": True,
     },
+    # The generating sweep behind `repro report` / docs/RESULTS.md: every
+    # implemented Table-1 family on two topologies across a size ladder
+    # wide enough for log-log fits, small enough for the CI docs job.
+    # Rounds and messages are pure functions of the spec, so the report
+    # built from these records is byte-reproducible on any machine.
+    "report": {
+        "families": ["er", "path"],
+        "sizes": [16, 24, 32, 48, 64],
+        "algorithms": sorted(ALGORITHMS),
+        "strict": False,
+    },
 }
 
 
@@ -136,4 +217,12 @@ def make_graph(family: str, n: int, seed: int, weights: str = "uniform") -> Grap
     raise ValueError(f"unknown graph family {family!r}")
 
 
-__all__ = ["ALGORITHMS", "GRAPH_FAMILIES", "WEIGHT_MODELS", "make_graph"]
+__all__ = [
+    "ALGORITHMS",
+    "CLAIMED_BOUNDS",
+    "ClaimedBound",
+    "GRAPH_FAMILIES",
+    "SWEEP_PRESETS",
+    "WEIGHT_MODELS",
+    "make_graph",
+]

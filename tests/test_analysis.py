@@ -41,6 +41,23 @@ def test_fit_exponent_needs_two_points():
         fit_exponent([10], [100])
 
 
+def test_fit_exponent_rejects_zero_values_with_named_points():
+    # A zero-valued series (e.g. message counts of a trivial scenario)
+    # must raise a clear error naming the offending points, not return
+    # -inf/nan fits.
+    with pytest.raises(ValueError, match=r"offending.*\(20\.0, 0\.0\)"):
+        fit_exponent([10, 20, 40], [5, 0, 7])
+
+
+def test_fit_exponent_rejects_negative_and_nonfinite_values():
+    with pytest.raises(ValueError, match="offending"):
+        fit_exponent([10, 20], [3, -1])
+    with pytest.raises(ValueError, match="offending"):
+        fit_exponent([10, 20], [3, float("inf")])
+    with pytest.raises(ValueError, match="offending"):
+        fit_exponent([0, 20], [3, 4])  # nonpositive n is just as fatal
+
+
 def test_normalized_series_flat_iff_exact():
     ns = [10, 20, 40]
     rounds = [2 * n**1.5 for n in ns]
@@ -64,6 +81,20 @@ def test_render_series_format():
     out = render_series("rounds", [8, 16], [100.0, 250.0], note="alpha=1.3")
     assert out.startswith("rounds:")
     assert "(8, 100)" in out and "alpha=1.3" in out
+
+
+def test_table1_claimed_bounds_single_sourced_from_registry():
+    # Table 1 and the sweep report must never disagree on a claimed
+    # bound: measured rows read from CLAIMED_BOUNDS.
+    from repro.experiments.registry import CLAIMED_BOUNDS
+
+    for row in TABLE1_ROWS:
+        if row.run is None:
+            continue
+        bound = CLAIMED_BOUNDS[row.key]
+        assert row.claimed == bound.bound
+        assert row.claimed_alpha == pytest.approx(bound.alpha)
+    assert set(CLAIMED_BOUNDS) == {r.key for r in TABLE1_ROWS if r.run}
 
 
 def test_table1_rows_cover_the_paper():

@@ -90,4 +90,12 @@ def test_docs_exist_and_are_linked_from_readme():
     readme = (REPO / "README.md").read_text()
     assert "docs/ARCHITECTURE.md" in readme
     assert "docs/API.md" in readme
-    assert (REPO / "docs" / "ARCHITECTURE.md").exists()
+    assert "docs/REPRODUCTION.md" in readme
+    assert "docs/RESULTS.md" in readme
+    for name in ("ARCHITECTURE.md", "REPRODUCTION.md", "RESULTS.md"):
+        assert (REPO / "docs" / name).exists()
+    # the paper-to-code map and the results page cross-link
+    arch = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+    assert "REPRODUCTION.md" in arch and "RESULTS.md" in arch
+    repro_map = (REPO / "docs" / "REPRODUCTION.md").read_text()
+    assert "RESULTS.md" in repro_map

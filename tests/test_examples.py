@@ -58,6 +58,13 @@ def test_step6_pipeline(capsys):
     assert "broadcast strawman" in out
 
 
+def test_sweep_report_example(capsys):
+    out = run_main("sweep_report", [16, 2], capsys)
+    assert "cross-family exponent fits" in out
+    assert "verdicts:" in out
+    assert "det-n43" in out and "naive-bf" in out
+
+
 def test_routing_tables(capsys):
     out = run_main("routing_tables", [4, 3], capsys)
     assert "verified exact (distances + routes)" in out
