@@ -32,6 +32,7 @@ import time
 from typing import Dict, List
 
 from repro.analysis import render_table
+from repro.analysis.trajectory import make_record
 from repro.congest.message import Message
 from repro.congest.metrics import RoundStats
 from repro.congest.network import CongestNetwork
@@ -39,7 +40,7 @@ from repro.congest.node import Ctx
 from repro.graphs import erdos_renyi
 from repro.primitives.bfs import build_bfs_tree
 
-from _common import emit, once
+from _common import emit, emit_records, once
 
 N = 64
 REPS = 50
@@ -206,6 +207,26 @@ def test_engine_fastpath_speedup(benchmark):
         ),
     )
     emit("engine_fastpath", table)
+    emit_records("engine_fastpath", [
+        make_record(
+            "engine_fastpath", f"bfs-n{N}-{engine}",
+            exact={"rounds": s.rounds, "messages": s.messages},
+            timing={"best_wall_s": round(best, 6)},
+        )
+        for engine, s, best in [
+            ("seed", s_seed, t_seed),
+            ("strict", s_strict, t_strict),
+            ("fast", s_fast, t_fast),
+        ]
+    ] + [
+        make_record(
+            "engine_fastpath", f"bfs-n{N}-ratios",
+            timing={
+                "fast_over_seed_speedup": round(t_seed / t_fast, 3),
+                "fast_over_strict_speedup": round(1.0 / strict_ratio, 3),
+            },
+        )
+    ])
     assert t_seed / t_fast >= 1.5, (
         f"fast path only {t_seed / t_fast:.2f}x faster than the seed engine"
     )

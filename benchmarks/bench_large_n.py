@@ -20,10 +20,14 @@ that make those sweeps feasible:
 * **Step-5 closure** — wall-clock of the numpy blocked min-plus closure
   vs the retained Python oracle, with a bit-identical-records check.
 
-Every run also appends a machine-readable
-``benchmarks/results/BENCH_large_n.json`` (wall seconds and rounds/sec
-per engine mode plus the measured speedup ratios) so the perf trajectory
-is tracked from PR 4 on.
+Every run also writes machine-readable
+``benchmarks/results/BENCH_large_n.json`` — schema'd
+:class:`~repro.analysis.trajectory.BenchRecord` payloads (wall seconds
+and rounds/sec per engine mode plus the measured speedup ratios) that
+``repro perf --records``/``--update`` can gate or promote into the
+committed ``HISTORY.jsonl`` trajectory.  The gc-paused interleaved
+CPU-median methodology lives in :mod:`repro.analysis.trajectory`
+(hoisted from this bench) and is shared with ``repro perf``.
 
 ``--smoke`` runs the CI-sized subset: the n=64 engine comparison plus a
 full n=128 deterministic-APSP run under both closure backends and all
@@ -41,7 +45,6 @@ or through pytest-benchmark: ``pytest benchmarks/bench_large_n.py``.
 from __future__ import annotations
 
 import argparse
-import gc
 import hashlib
 import statistics
 import sys
@@ -51,18 +54,16 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.analysis import render_table
+from repro.analysis.trajectory import gc_paused_cpu, make_engine_net, make_record
 from repro.apsp import deterministic_apsp
-from repro.congest.network import CongestNetwork
 from repro.experiments.registry import make_graph
 
-from _common import RESULTS_DIR, emit, emit_json, once
+from _common import emit, emit_records, once
 from bench_engine_fastpath import SeedCongestNetwork
 
 SEED = 1
 SMOKE_SIZES = [64, 128]
 FULL_SIZES = [64, 128, 256]
-
-JSON_PATH = RESULTS_DIR / "BENCH_large_n.json"
 
 #: Engine execution modes measured per size (seed is added at the
 #: smallest size; "compressed-phase" is the PR-3 per-phase baseline the
@@ -96,13 +97,7 @@ RATIO_REPS = 3
 def make_net(graph, engine: str):
     if engine == "seed":
         return SeedCongestNetwork(graph)
-    if engine == "strict":
-        return CongestNetwork(graph)
-    if engine == "compressed":
-        return CongestNetwork(graph, strict=False, compress=True)
-    if engine == "compressed-phase":
-        return CongestNetwork(graph, strict=False, compress=True, batch=False)
-    return CongestNetwork(graph, strict=False)
+    return make_engine_net(graph, engine)
 
 
 def run_apsp(graph, engine: str, closure: str = "auto"):
@@ -116,14 +111,8 @@ def run_apsp(graph, engine: str, closure: str = "auto"):
 def _cpu_run(graph, engine: str) -> float:
     """gc-paused CPU seconds of one run (for the interleaved medians)."""
     net = make_net(graph, engine)
-    gc.disable()
-    try:
-        t0 = time.process_time()
-        deterministic_apsp(net, graph)
-        return time.process_time() - t0
-    finally:
-        gc.enable()
-        gc.collect()
+    _, cpu = gc_paused_cpu(lambda: deterministic_apsp(net, graph))
+    return cpu
 
 
 def batched_speedup(graph) -> float:
@@ -140,19 +129,31 @@ def batched_speedup(graph) -> float:
     return statistics.median(base) / statistics.median(batched)
 
 
-def write_json(rows: List[dict], speedups: Dict[str, float]) -> None:
-    """Persist the machine-readable perf record for trend tracking.
+def write_records(rows: List[dict], speedups: Dict[str, float]) -> None:
+    """Persist the machine-readable perf records for trend tracking.
 
-    Goes through the shared :func:`_common.emit_json` path (atomic,
-    sorted keys) like the sweep report's ``REPORT.json``.
+    Schema'd :class:`~repro.analysis.trajectory.BenchRecord` payloads
+    through the shared :func:`_common.emit_records` path (atomic,
+    sorted keys) like the sweep report's ``REPORT.json``: rounds and
+    messages are exact metrics, wall/rounds-per-sec and the speedup
+    ratios are noise-banded timing metrics.
     """
-    emit_json(JSON_PATH.name, {
-        "bench": "large_n",
-        "schema": 1,
-        "seed": SEED,
-        "rows": rows,
-        "speedups": speedups,
-    })
+    records = [
+        make_record(
+            "large_n", f"er-n{row['n']}-{row['engine']}",
+            exact={"rounds": row["rounds"], "messages": row["messages"]},
+            timing={"wall_s": row["wall_s"],
+                    "rounds_per_sec": row["rounds_per_sec"]},
+        )
+        for row in rows
+    ]
+    if speedups:
+        records.append(make_record(
+            "large_n", "er-n256-speedups",
+            timing={f"{name}_speedup": round(ratio, 3)
+                    for name, ratio in speedups.items()},
+        ))
+    emit_records("large_n", records)
 
 
 def large_n_report(sizes: List[int], smoke: bool):
@@ -259,7 +260,7 @@ def closure_equivalence_report(n: int) -> str:
 def full_report(sizes: List[int], smoke: bool) -> str:
     report, json_rows, speedups = large_n_report(sizes, smoke)
     report += "\n\n" + closure_equivalence_report(min(128, max(sizes)))
-    write_json(json_rows, speedups)
+    write_records(json_rows, speedups)
     return report
 
 

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 from repro.analysis import TABLE1_ROWS, fit_groups, render_fit_table, render_table
 from repro.analysis.sweep_report import group_records
+from repro.analysis.trajectory import make_record
 from repro.experiments import ScenarioMatrix, SweepExecutor
 
-from _common import emit, once
+from _common import emit, emit_records, once
 
 SWEEP_NS = (16, 24, 32, 48, 64, 96)
 ALGOS = ("naive-bf", "det-n53", "det-n32", "rand-n43", "det-n43")
@@ -64,6 +65,13 @@ def test_table1_er_sweep(benchmark):
               "exact; fits via the repro-report path)",
     )
     emit("table1_er", table + "\n" + quoted_rows())
+    emit_records("table1_apsp", [
+        make_record(
+            "table1_apsp", f"{rec['spec']['algorithm']}-er-n{rec['spec']['n']}",
+            exact={"rounds": rec["rounds"], "messages": rec["messages"]},
+        )
+        for rec in records
+    ])
 
 
 def test_table1_message_complexity(benchmark):

@@ -13,6 +13,14 @@ result without writing code:
   family's claimed bound, and regenerate ``docs/RESULTS.md`` +
   ``benchmarks/results/REPORT.json`` (``--check`` fails when the
   committed artifacts are stale; CI runs it).
+* ``perf`` — the perf-trajectory regression gate: measure the pinned
+  smoke scenarios into schema'd bench records and compare them against
+  the committed append-only history
+  (``benchmarks/results/HISTORY.jsonl``).  Exact metrics (rounds,
+  messages) gate strictly; timing metrics gate against a noise band on
+  matching machines.  ``--check`` exits 1 naming the regressed metric
+  and scenario (CI's blocking ``perf-gate`` job); ``--update`` appends
+  refreshed baselines with an explicit diff.
 * ``table1`` — regenerate Table 1 (measured) on a size sweep.
 * ``blocker`` — run the four blocker constructions on one instance.
 * ``step6`` — standalone reversed q-sink comparison (pipelined vs
@@ -26,6 +34,7 @@ over them.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import List, Optional
 
@@ -224,6 +233,122 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    from repro.analysis import trajectory
+
+    if args.check and args.update:
+        raise SystemExit(
+            "repro perf: --check and --update are mutually exclusive "
+            "(check gates against the history; update rewrites it)"
+        )
+
+    # Current records: measured from the pinned scenarios, or replayed
+    # from record files a previous invocation (or a bench) emitted.
+    if args.records:
+        try:
+            current = [r for path in args.records
+                       for r in trajectory.load_records_file(path)]
+        except trajectory.TrajectoryError as exc:
+            raise SystemExit(f"repro perf: {exc}") from exc
+        print(f"perf: {len(current)} record(s) from "
+              f"{', '.join(args.records)}", file=sys.stderr)
+    else:
+        scenarios = list(trajectory.PERF_SCENARIOS)
+        if args.scenarios:
+            by_key = {s.key: s for s in scenarios}
+            unknown = [k for k in args.scenarios if k not in by_key]
+            if unknown:
+                raise SystemExit(
+                    f"repro perf: unknown scenario(s) "
+                    f"{', '.join(unknown)}; pinned scenarios: "
+                    f"{', '.join(sorted(by_key))}"
+                )
+            scenarios = [by_key[k] for k in args.scenarios]
+        print(f"perf: measuring {len(scenarios)} pinned scenario(s), "
+              f"{args.reps} interleaved rep(s)", file=sys.stderr)
+        current = trajectory.run_scenarios(
+            scenarios, reps=args.reps,
+            progress=lambda line: print(f"  {line}", file=sys.stderr),
+        )
+        from repro.analysis.sweep_report import write_json
+
+        out = write_json(args.out, trajectory.records_payload(current))
+        print(f"perf: wrote {out}", file=sys.stderr)
+
+    try:
+        history = trajectory.load_history(args.history)
+    except trajectory.TrajectoryError as exc:
+        if args.update and not pathlib.Path(args.history).exists():
+            history = []
+        else:
+            raise SystemExit(f"repro perf: {exc}") from exc
+    baselines = trajectory.latest_baselines(history)
+    comparison = trajectory.compare_records(baselines, current,
+                                            band=args.band)
+
+    rows = []
+    for rec in current:
+        base = baselines.get(rec.key)
+        for group in ("exact", "timing"):
+            for metric, value in sorted(getattr(rec, group).items()):
+                before = getattr(base, group).get(metric) if base else None
+                rows.append([
+                    rec.label, metric,
+                    "--" if before is None else f"{before:g}",
+                    f"{value:g}",
+                    group if base else "new",
+                ])
+    print(render_table(
+        ["scenario", "metric", "baseline", "current", "gate"],
+        rows,
+        title=f"perf trajectory vs {args.history} "
+              f"(noise band {args.band:.0%})",
+    ))
+    for note in comparison.skipped:
+        print(f"  note: {note}")
+    for line in comparison.improvements:
+        print(f"  improvement: {line}")
+
+    if args.update:
+        # The explicit diff: every baseline change spelled out before
+        # the append-only history grows.
+        changes = [r.describe() for r in comparison.regressions]
+        changes += [f"{rec.label}: new scenario "
+                    f"(exact={rec.exact}, timing={rec.timing})"
+                    for rec in comparison.new_scenarios]
+        changes += comparison.improvements
+        if changes:
+            print("baseline changes:")
+            for line in changes:
+                print(f"  {line}")
+        else:
+            print("baseline changes: none (metrics within band)")
+        trajectory.append_history(args.history, current)
+        print(f"appended {len(current)} record(s) to {args.history}")
+        return 0
+
+    failures = [r.describe() for r in comparison.regressions]
+    if args.check:
+        # A record without a baseline is rejected too: the committed
+        # history may never silently lag the pinned scenario set.
+        failures += [
+            f"{rec.label} [unknown-scenario] not in {args.history}; "
+            f"accept it with `repro perf --update`"
+            for rec in comparison.new_scenarios
+        ]
+    for failure in failures:
+        print(f"repro perf: REGRESSION {failure}")
+    if args.check:
+        if failures:
+            print(f"repro perf --check: {len(failures)} failure(s); "
+                  f"if intended, refresh the baseline with "
+                  f"`python -m repro perf --update`")
+            return 1
+        print(f"perf trajectory OK ({comparison.checked} gated metrics, "
+              f"{len(current)} scenario(s))")
+    return 0
+
+
 def cmd_table1(args) -> int:
     ns = args.sizes or [16, 24, 32, 48]
     graphs = [make_graph(args.family, n, args.seed) for n in ns]
@@ -389,6 +514,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="adjusted-slope tolerance for the flatness "
                         "verdict (default: %(default)s)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "perf",
+        help="perf-trajectory gate: pinned smoke scenarios vs the "
+             "committed history",
+    )
+    from repro.analysis.trajectory import (
+        DEFAULT_NOISE_BAND,
+        DEFAULT_REPS,
+        HISTORY_PATH,
+        PERF_JSON_PATH,
+    )
+
+    p.add_argument("--check", action="store_true",
+                   help="exit 1 on any regression (strict on exact "
+                        "rounds/messages; noise-banded on timing) or on "
+                        "a scenario missing from the history")
+    p.add_argument("--update", action="store_true",
+                   help="append the fresh records to the history after "
+                        "printing an explicit diff of every baseline "
+                        "change")
+    p.add_argument("--history", default=str(HISTORY_PATH),
+                   help="append-only trajectory file "
+                        "(default: %(default)s)")
+    p.add_argument("--records", nargs="+",
+                   help="gate these previously emitted record payloads "
+                        "(PERF.json / BENCH_*.json) instead of "
+                        "re-measuring")
+    p.add_argument("--out", default=str(PERF_JSON_PATH),
+                   help="where measured records are written "
+                        "(default: %(default)s; ignored with --records)")
+    p.add_argument("--band", type=float, default=DEFAULT_NOISE_BAND,
+                   help="relative timing degradation tolerated on a "
+                        "matching machine (default: %(default)s)")
+    p.add_argument("--reps", type=int, default=DEFAULT_REPS,
+                   help="interleaved gc-paused repetitions behind each "
+                        "timing median (default: %(default)s)")
+    p.add_argument("--scenarios", nargs="+",
+                   help="subset of pinned scenario keys to measure")
+    p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("table1", help="regenerate Table 1 (measured)")
     p.add_argument("--family", choices=GRAPH_FAMILIES, default="er")
