@@ -70,32 +70,41 @@ class RecordError(ValueError):
     """A cached sweep record is stale, corrupt, or inconsistent."""
 
 
-def report_matrix() -> ScenarioMatrix:
-    """The generating sweep behind the committed report.
+def report_matrix(preset: str = "report") -> ScenarioMatrix:
+    """The generating sweep behind a report.
 
-    Built from the ``report`` entry of
-    :data:`~repro.experiments.registry.SWEEP_PRESETS`; ``repro report``
-    (and its ``--smoke`` mode) runs exactly this matrix through the
-    cached executor, so the committed ``docs/RESULTS.md`` is always a
-    pure function of one declared scenario set.
+    Built from the named entry of
+    :data:`~repro.experiments.registry.SWEEP_PRESETS` (default: the
+    ``report`` preset behind the committed ``docs/RESULTS.md``);
+    ``repro report`` (and its ``--smoke`` mode) runs exactly this matrix
+    through the cached executor, so every report is a pure function of
+    one declared scenario set.  ``repro report --preset faults`` builds
+    the robustness report the same way.
     """
-    preset = dict(SWEEP_PRESETS["report"])
-    matrix = ScenarioMatrix(
-        families=preset.pop("families"),
-        sizes=preset.pop("sizes"),
-        algorithms=preset.pop("algorithms"),
-        seeds=preset.pop("seeds", (1,)),
-        weights=preset.pop("weights", ("uniform",)),
-        strict=bool(preset.pop("strict", True)),
-        compress=bool(preset.pop("compress", False)),
-    )
-    if preset:
-        # A preset key this function does not thread through would make
-        # `repro sweep --preset report` and the committed report diverge
-        # silently; fail loudly instead.
+    if preset not in SWEEP_PRESETS:
         raise ValueError(
-            f"report preset has axes the report matrix ignores: "
-            f"{sorted(preset)}"
+            f"unknown sweep preset {preset!r}; available: "
+            f"{', '.join(sorted(SWEEP_PRESETS))}"
+        )
+    data = dict(SWEEP_PRESETS[preset])
+    matrix = ScenarioMatrix(
+        families=data.pop("families"),
+        sizes=data.pop("sizes"),
+        algorithms=data.pop("algorithms"),
+        seeds=data.pop("seeds", (1,)),
+        weights=data.pop("weights", ("uniform",)),
+        faults=data.pop("faults", ("none",)),
+        fault_seeds=data.pop("fault_seeds", (1,)),
+        strict=bool(data.pop("strict", True)),
+        compress=bool(data.pop("compress", False)),
+    )
+    if data:
+        # A preset key this function does not thread through would make
+        # `repro sweep --preset <name>` and the report built from the
+        # same preset diverge silently; fail loudly instead.
+        raise ValueError(
+            f"preset {preset!r} has axes the report matrix ignores: "
+            f"{sorted(data)}"
         )
     return matrix
 
@@ -369,7 +378,13 @@ def fit_groups(
     and the flatness verdict against the family's registered
     :class:`~repro.experiments.registry.ClaimedBound` (families without a
     registered bound get raw fits and a "no claimed bound" verdict).
+
+    Faulted records (``record["faults"]`` present) are excluded: their
+    round counts measure fault recovery, not the algorithm's complexity,
+    and would skew the fits against the claimed bounds.  They feed
+    :func:`robustness_rows` instead.
     """
+    records = [r for r in records if not r.get("faults")]
     out: List[FamilyFit] = []
     for (algo, family, weights), by_n in sorted(group_records(records).items()):
         bound = CLAIMED_BOUNDS.get(algo)
@@ -416,6 +431,88 @@ def fit_table_rows(fits: Sequence[FamilyFit]) -> List[List[object]]:
 def render_fit_table(fits: Sequence[FamilyFit], title: str = "") -> str:
     """The cross-family exponent table in the benches' fixed-width style."""
     return render_table(FIT_TABLE_HEADER, fit_table_rows(fits), title=title)
+
+
+# ----------------------------------------------------------------------
+# Robustness under injected faults
+# ----------------------------------------------------------------------
+
+ROBUSTNESS_TABLE_HEADER = [
+    "algorithm", "family", "fault model", "runs", "ok", "divergent",
+    "failed", "extra rounds", "fault events",
+]
+
+
+def robustness_rows(records: Sequence[dict]) -> List[dict]:
+    """Aggregate faulted records per ``(algorithm, family, fault model)``.
+
+    Each row counts the three deterministic outcomes the runner records
+    (``ok`` — bit-identical distances despite the faults, ``divergent``
+    — completed with a different answer, ``failed:*`` — never finished)
+    plus the mean extra rounds a *completed* faulted run paid over its
+    inline fault-free baseline, and the total injected fault events.
+    Fault-free records contribute nothing; a fault-free record set
+    yields ``[]`` (and the report then renders no robustness section).
+    """
+    groups: Dict[Tuple[str, str, str], List[dict]] = {}
+    for rec in records:
+        if not rec.get("faults"):
+            continue
+        spec = rec["spec"]
+        key = (spec["algorithm"], spec["family"], rec["faults"]["model"])
+        groups.setdefault(key, []).append(rec)
+    rows: List[dict] = []
+    for (algo, family, model), recs in sorted(groups.items()):
+        outcomes = [str(r.get("fault_outcome", "")) for r in recs]
+        ok = outcomes.count("ok")
+        divergent = outcomes.count("divergent")
+        failed = sum(1 for o in outcomes if o.startswith("failed"))
+        extra = [
+            r["rounds"] - r["baseline"]["rounds"]
+            for r, o in zip(recs, outcomes)
+            if not o.startswith("failed") and "baseline" in r
+        ]
+        events = sum(
+            sum(r["faults"].get("events", {}).values()) for r in recs
+        )
+        rows.append({
+            "algorithm": algo,
+            "graph_family": family,
+            "fault_model": model,
+            "runs": len(recs),
+            "ok": ok,
+            "divergent": divergent,
+            "failed": failed,
+            "mean_extra_rounds": (
+                None if not extra else _round(sum(extra) / len(extra), 2)
+            ),
+            "fault_events": events,
+        })
+    return rows
+
+
+def _fmt_extra_rounds(row: dict) -> str:
+    extra = row["mean_extra_rounds"]
+    return "--" if extra is None else f"{extra:+.1f}"
+
+
+def robustness_table_rows(rows: Sequence[dict]) -> List[List[object]]:
+    """Text/markdown rows for the robustness table (one per group)."""
+    return [
+        [
+            row["algorithm"], row["graph_family"], row["fault_model"],
+            row["runs"], row["ok"], row["divergent"], row["failed"],
+            _fmt_extra_rounds(row), row["fault_events"],
+        ]
+        for row in rows
+    ]
+
+
+def render_robustness_table(rows: Sequence[dict], title: str = "") -> str:
+    """The robustness matrix in the benches' fixed-width table style."""
+    return render_table(
+        ROBUSTNESS_TABLE_HEADER, robustness_table_rows(rows), title=title
+    )
 
 
 def _fmt_fit(m: Optional[MetricFit]) -> str:
@@ -493,7 +590,10 @@ def build_report(
             "verdict": f.verdict,
             "flat": f.flat,
         })
-    for (algo, family, weights), by_n in sorted(group_records(records).items()):
+    fault_free = [r for r in records if not r.get("faults")]
+    for (algo, family, weights), by_n in sorted(
+        group_records(fault_free).items()
+    ):
         try:
             ns, walls = metric_series(by_n, "wall")
             wall_fit = fit_exponent(ns, walls)
@@ -514,6 +614,7 @@ def build_report(
         "scenarios": len(records),
         "scenario_hashes": sorted(r["hash"] for r in records),
         "families": families,
+        "robustness": robustness_rows(records),
         "timing": {"families": timing_families},
     }
 
@@ -627,6 +728,31 @@ def render_results_md(report: dict) -> str:
                         f"- `{fam['algorithm']}` on `{fam['graph_family']}`"
                         f" ({name}): {m['error']}"
                     )
+    robustness = report.get("robustness") or []
+    if robustness:
+        out += [
+            "",
+            "## Robustness under injected faults",
+            "",
+            "Each faulted scenario first runs its fault-free twin inline:",
+            "*ok* means the faulted run still produced bit-identical",
+            "distances, *divergent* that it completed with a different",
+            "answer, *failed* that the protocol never finished (e.g. a",
+            "convergecast waiting forever on a crash-dropped report hits",
+            "the capped round limit).  Extra rounds average over completed",
+            "runs, relative to each scenario's own baseline.",
+            "",
+            "| algorithm | graph family | fault model | runs | ok |"
+            " divergent | failed | mean extra rounds | fault events |",
+            "| --- | --- | --- | --- | --- | --- | --- | --- | --- |",
+        ]
+        for row in robustness:
+            out.append(
+                f"| {row['algorithm']} | {row['graph_family']} |"
+                f" {row['fault_model']} | {row['runs']} | {row['ok']} |"
+                f" {row['divergent']} | {row['failed']} |"
+                f" {_fmt_extra_rounds(row)} | {row['fault_events']} |"
+            )
     out += [
         "",
         "Wall-clock exponents (not deterministic, excluded from the"
@@ -756,6 +882,9 @@ __all__ = [
     "render_fit_table",
     "render_results_md",
     "render_report_json",
+    "render_robustness_table",
+    "robustness_rows",
+    "robustness_table_rows",
     "strip_report_timing",
     "validate_record",
     "verdict_lines",

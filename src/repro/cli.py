@@ -41,7 +41,7 @@ from typing import List, Optional
 from repro.analysis import fit_exponent, render_table, sweep_table
 from repro.analysis.sweep_report import FLAT_TOL
 from repro.analysis.tables import TABLE1_ROWS, table1_measured
-from repro.congest import CongestNetwork
+from repro.congest import FAULT_MODELS, CongestNetwork
 from repro.csssp import build_csssp
 from repro.experiments import (
     ALGORITHMS,
@@ -92,6 +92,18 @@ def cmd_sweep(args) -> int:
     families = axis("families", ["er"])
     sizes = axis("sizes", [16, 24])
     algorithms = axis("algorithms", ["det-n43"])
+    seeds = axis("seeds", [1])
+    fault_models = axis("faults", ["none"])
+    fault_seeds = axis("fault_seeds", [1])
+    if args.smoke:
+        # Shrink the instance axes to one scenario each while keeping
+        # every requested fault model: the CI fault-smoke step wants all
+        # models exercised once, not a grid.
+        families = list(families)[:1]
+        sizes = [min(sizes)]
+        algorithms = list(algorithms)[:1]
+        seeds = list(seeds)[:1]
+        fault_seeds = list(fault_seeds)[:1]
     driver_flags = [flag for flag, value in (
         ("--blockers", args.blockers),
         ("--deliveries", args.deliveries),
@@ -106,11 +118,13 @@ def cmd_sweep(args) -> int:
         families=families,
         sizes=sizes,
         algorithms=algorithms,
-        seeds=axis("seeds", [1]),
+        seeds=seeds,
         weights=axis("weights", ["uniform"]),
         h_exponents=args.h_exponents or (None,),
         blockers=args.blockers or (None,),
         deliveries=args.deliveries or (None,),
+        faults=fault_models,
+        fault_seeds=fault_seeds,
         strict=not args.fast and bool(preset.get("strict", True)),
         compress=args.compressed or bool(preset.get("compress", False)),
     )
@@ -147,13 +161,23 @@ def cmd_report(args) -> int:
     record_sets = []
     sources = []
     run_sweep = args.smoke or not args.records
+    custom_preset = args.preset != "report"
+    # The committed record cache belongs to the 'report' preset; other
+    # presets (e.g. 'faults') default to an uncached generating sweep so
+    # their records never land in the tracked directory unasked.
+    cache_dir = args.cache_dir
+    if cache_dir is None and not custom_preset:
+        cache_dir = "benchmarks/results/records"
     if run_sweep:
-        matrix = sweep_report.report_matrix()
+        try:
+            matrix = sweep_report.report_matrix(args.preset)
+        except ValueError as exc:
+            raise SystemExit(f"repro report: {exc}") from exc
         specs = matrix.expand()
-        executor = SweepExecutor(cache_dir=args.cache_dir,
+        executor = SweepExecutor(cache_dir=cache_dir,
                                  workers=args.workers)
         status(f"report: generating sweep ({len(specs)} scenarios, "
-               f"cache={args.cache_dir or 'off'})")
+               f"preset={args.preset}, cache={cache_dir or 'off'})")
         record_sets.append(executor.run(specs))
         sources.append("generating sweep")
         status(f"  {executor.executed} executed, "
@@ -174,10 +198,11 @@ def cmd_report(args) -> int:
                                        fits=fits)
     results_path = args.results or str(sweep_report.RESULTS_MD_PATH)
     json_path = args.json or str(sweep_report.REPORT_JSON_PATH)
-    # Guard the committed artifacts: a report that includes user-supplied
-    # record dirs is a different document than the committed
-    # report-preset one, so a default path is only touched — or diffed
-    # against — when the user names it explicitly.
+    # Guard the committed artifacts: a report built from user-supplied
+    # record dirs or a non-default preset is a different document than
+    # the committed report-preset one, so a default path is only touched
+    # — or diffed against — when the user names it explicitly.
+    custom = bool(args.records) or custom_preset
     if args.check:
         if args.records and run_sweep:
             raise SystemExit(
@@ -185,12 +210,13 @@ def cmd_report(args) -> int:
                 "--records (the merged report never matches the committed "
                 "preset-only artifacts); drop one of them"
             )
-        if args.records and (args.results is None or args.json is None):
+        if custom and (args.results is None or args.json is None):
             raise SystemExit(
-                "repro report: --check with custom --records would diff "
-                "against the committed report-preset artifacts; pass both "
-                "--results and --json for your own artifacts, or drop "
-                "--records to check the committed report"
+                "repro report: --check with custom --records or --preset "
+                "would diff against the committed report-preset "
+                "artifacts; pass both --results and --json for your own "
+                "artifacts, or drop the custom flags to check the "
+                "committed report"
             )
         problems = sweep_report.check_report(
             report, results_path=results_path, json_path=json_path)
@@ -202,9 +228,10 @@ def cmd_report(args) -> int:
         print(f"report is fresh ({results_path}, {json_path})")
         return 0
 
-    if args.records:
+    if custom:
         # Write only the artifacts the user named; never land a
-        # custom-records report on the committed default paths.
+        # custom-records or custom-preset report on the committed
+        # default paths.
         targets = [p for p in (args.results, args.json) if p is not None]
         sweep_report.write_report(
             report, results_path=args.results, json_path=args.json)
@@ -213,8 +240,8 @@ def cmd_report(args) -> int:
                    f"({report['scenarios']} scenarios, "
                    f"{len(report['families'])} family groups)")
         else:
-            status("custom --records without --results/--json: printing "
-                   "only (pass --results/--json to write)")
+            status("custom --records/--preset without --results/--json: "
+                   "printing only (pass --results/--json to write)")
     else:
         sweep_report.write_report(
             report, results_path=results_path, json_path=json_path)
@@ -230,6 +257,10 @@ def cmd_report(args) -> int:
             fits, title="cross-family exponent fits vs claimed bounds"))
         for line in sweep_report.verdict_lines(report):
             print(f"- {line}")
+        if report["robustness"]:
+            print(sweep_report.render_robustness_table(
+                report["robustness"],
+                title="robustness under injected faults"))
     return 0
 
 
@@ -454,6 +485,17 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(ALGORITHMS) + [THREE_PHASE])
     p.add_argument("--seeds", type=int, nargs="+")
     p.add_argument("--weights", nargs="+", choices=sorted(WEIGHT_MODELS))
+    p.add_argument("--faults", nargs="+", choices=sorted(FAULT_MODELS),
+                   help="fault models injected at delivery time in the "
+                        "message-level engine ('none' = the explicit "
+                        "zero model; incompatible with --compressed)")
+    p.add_argument("--fault-seeds", type=int, nargs="+",
+                   help="fault-plan PRNG streams; multiplies scenarios "
+                        "whose fault model is not 'none'")
+    p.add_argument("--smoke", action="store_true",
+                   help="shrink the instance axes to one family/size/"
+                        "algorithm/seed while keeping every fault model "
+                        "(the CI fault-smoke step)")
     p.add_argument("--h-exponents", type=float, nargs="*",
                    help="driver hop exponents (3phase scenarios only)")
     p.add_argument("--blockers", nargs="*",
@@ -479,18 +521,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="cross-family complexity report: fitted exponents vs claimed "
              "bounds, from cached sweep records",
     )
+    p.add_argument("--preset", default="report",
+                   help="sweep preset behind the generating sweep "
+                        "(default: %(default)s; e.g. 'faults' for the "
+                        "robustness report); non-default presets write "
+                        "only explicitly named --results/--json paths")
     p.add_argument("--records", nargs="+",
                    help="cached sweep record directories to merge "
                         "(validated against scenario hashes); without "
-                        "this the generating 'report' preset sweep runs "
-                        "inline")
+                        "this the generating --preset sweep runs inline")
     p.add_argument("--smoke", action="store_true",
-                   help="run the generating 'report' preset sweep inline "
+                   help="run the generating --preset sweep inline "
                         "(cached under --cache-dir) and merge it with any "
                         "--records directories")
-    p.add_argument("--cache-dir", default="benchmarks/results/records",
-                   help="record cache for the generating sweep "
-                        "(default: %(default)s)")
+    p.add_argument("--cache-dir",
+                   help="record cache for the generating sweep (default: "
+                        "benchmarks/results/records for the 'report' "
+                        "preset, off otherwise)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for the generating sweep")
     p.add_argument("--format", choices=("table", "markdown", "json"),

@@ -71,6 +71,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.congest.faults import (
+    FAULT_HARD_CAP,
+    FaultPlan,
+    FaultTrace,
+    FaultsUnsupported,
+)
 from repro.congest.message import Message, _count_words
 from repro.congest.metrics import RoundStats
 from repro.congest.node import Ctx, NodeProgram
@@ -164,6 +170,16 @@ class CongestNetwork:
         pins an otherwise-compressed network to the per-phase compressed
         mode, which is the A/B baseline ``bench_large_n`` measures the
         batched pipeline against.
+    faults:
+        An optional :class:`~repro.congest.faults.FaultPlan` applied at
+        delivery time in the message-level engine (see
+        :mod:`repro.congest.faults` for the semantics); the decisions a
+        run makes accumulate in :attr:`fault_trace`.  A zero plan takes
+        the untouched fault-free path (bit-identical to no plan at all);
+        a non-zero plan is incompatible with round-compressed execution
+        and raises :class:`~repro.congest.faults.FaultsUnsupported`
+        here when ``compress=True`` and from every
+        :meth:`run_compressed` call — never silently ignored.
     """
 
     def __init__(
@@ -175,6 +191,7 @@ class CongestNetwork:
         track_edges: bool = False,
         compress: bool = False,
         batch: bool = True,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.graph = graph
         self.n: int = graph.n
@@ -184,6 +201,26 @@ class CongestNetwork:
         self.track_edges = track_edges
         self.compress = compress
         self.batch = batch
+        #: the plan this network was built with (``None`` = no plan)
+        self.fault_plan = faults
+        #: accumulated :class:`~repro.congest.faults.FaultTrace` of every
+        #: fault decision made on this network (empty for a zero plan;
+        #: ``None`` when no plan was given)
+        self.fault_trace: Optional[FaultTrace] = None
+        if faults is not None and not faults.is_zero:
+            if compress:
+                raise FaultsUnsupported(
+                    f"fault plan {faults!r} cannot run round-compressed: "
+                    "compressed phases materialize no messages to fault; "
+                    "use compress=False or replay a recorded trace on the "
+                    "message-level engine"
+                )
+            self._fault_runtime = faults.bind(self.n)
+            self.fault_trace = self._fault_runtime.trace
+        else:
+            self._fault_runtime = None
+            if faults is not None:
+                self.fault_trace = FaultTrace()
         self._adj: List[Sequence[int]] = [
             tuple(graph.und_neighbors(v)) for v in range(self.n)
         ]
@@ -254,6 +291,14 @@ class CongestNetwork:
         aggregate result.  Returns ``(result, stats)`` and merges the stats
         into :attr:`total`, mirroring :meth:`run`.
         """
+        if self._fault_runtime is not None:
+            raise FaultsUnsupported(
+                f"phase {(label or getattr(phase, 'label', '?'))!r}: "
+                f"round-compressed execution materializes no messages, so "
+                f"it cannot apply fault plan {self.fault_plan!r}; run with "
+                "compress=False (or replay the recorded FaultTrace on the "
+                "message-level engine)"
+            )
         sched = phase.schedule(self)
         result = phase.evaluate(self)
         stats = sched.to_stats(
@@ -438,6 +483,13 @@ class CongestNetwork:
         strict = self.strict
         adj = self._adj
         track_edges = self.track_edges
+        faults = self._fault_runtime
+        crashed: frozenset = frozenset()
+        if faults is not None:
+            faults.start_phase()
+            # Fault-induced divergence (a node waiting forever on a
+            # dropped message) must surface promptly, not after 5M ticks.
+            hard_cap = min(hard_cap, FAULT_HARD_CAP)
 
         # Batched delivery: per-destination inbox lists, swapped wholesale
         # at the tick boundary.  ``None`` means "no messages this round" so
@@ -484,7 +536,9 @@ class CongestNetwork:
         # read them zero-copy through a numpy view.
         active = bytearray(n)
         active_view = np.frombuffer(active, dtype=np.uint8)
-        vector_wake = n >= _WAKE_VECTOR_MIN
+        # Faulted runs pin the scalar wake scan: it is the one path with
+        # the crashed-node filter, and faulted phases are small by design.
+        vector_wake = n >= _WAKE_VECTOR_MIN and faults is None
         num_active = 0
         for v in range(n):
             if programs[v].active:
@@ -504,7 +558,17 @@ class CongestNetwork:
             # Deliver: last tick's outboxes become this tick's inboxes.
             inboxes, outboxes = outboxes, inboxes
             in_touched, out_touched = out_touched, in_touched
-            if not in_touched and not num_active:
+            if faults is not None:
+                # Delivery-time fault application: releases due delayed
+                # messages, drops/duplicates/delays fresh ones, and
+                # swallows traffic to crashed nodes.  Replaces inbox
+                # slots with new lists (delivered boxes stay unmutated
+                # for the strict-mode batch checks) and rewrites
+                # in_touched in place.
+                crashed = faults.apply(tick, inboxes, in_touched)
+                if not in_touched and not num_active and not faults.pending:
+                    break
+            elif not in_touched and not num_active:
                 break
 
             # Wake = has inbox or active, processed in increasing node id
@@ -541,6 +605,10 @@ class CongestNetwork:
                     for v in range(n):
                         box = inboxes[v]
                         if box is None and not active[v]:
+                            continue
+                        if crashed and v in crashed:
+                            # Down this tick: no execution, state and
+                            # active flag preserved for recovery.
                             continue
                         prog = programs[v]
                         ctx.node = v

@@ -111,12 +111,23 @@ CLAIMED_BOUNDS: Dict[str, ClaimedBound] = {
     ),
 }
 
-#: Edge-weight models, as generator keyword overrides.
+#: Edge-weight models, as generator keyword overrides.  ``zero_frac``
+#: models only exist for the Erdos-Renyi families (the other generators
+#: have no zero-weight knob; :func:`make_graph` rejects the combination
+#: by name).
 WEIGHT_MODELS: Dict[str, Dict[str, object]] = {
     "uniform": {},  # each generator's default real-valued range
     "integer": {"wrange": (1.0, 16.0), "integer": True},
     "unit": {"wrange": (1.0, 1.0), "integer": True},
     "zero": {"zero_frac": 0.3},  # 30% zero-weight edges (er families only)
+    # Heavy-tailed Pareto(alpha=1.2) weights: infinite variance, so a few
+    # enormous edges dominate every instance.
+    "pareto": {"dist": "pareto"},
+    # Pareto tail plus 30% zero-weight edges (er families only).
+    "pareto-zero": {"dist": "pareto", "zero_frac": 0.3},
+    # Every weight within 1e-9 of 1: nearly all path comparisons tie, so
+    # lexicographic tie-breaking decides the shortest-path trees.
+    "near-tie": {"wrange": (1.0, 1.0 + 1e-9)},
 }
 
 GRAPH_FAMILIES = [
@@ -164,15 +175,30 @@ SWEEP_PRESETS: Dict[str, Dict[str, object]] = {
         "compress": True,
     },
     # The generating sweep behind `repro report` / docs/RESULTS.md: every
-    # implemented Table-1 family on two topologies across a size ladder
-    # wide enough for log-log fits, small enough for the CI docs job.
-    # Rounds and messages are pure functions of the spec, so the report
-    # built from these records is byte-reproducible on any machine.
+    # implemented Table-1 family across a topology spread (sparse random,
+    # worst-case path, hub-heavy ba, small-world ws, geometric rgg) and a
+    # size ladder wide enough for log-log fits, small enough for the CI
+    # docs job.  Rounds and messages are pure functions of the spec, so
+    # the report built from these records is byte-reproducible anywhere.
     "report": {
-        "families": ["er", "path"],
+        "families": ["er", "path", "ba", "ws", "rgg"],
         "sizes": [16, 24, 32, 48, 64],
         "algorithms": sorted(ALGORITHMS),
         "strict": False,
+    },
+    # The robustness sweep behind the fault axis: every single-mode fault
+    # model over a small grid, one fault stream each.  `repro sweep
+    # --preset faults` runs it; `repro report --preset faults` renders
+    # the per-family robustness section from its records.  Faulted runs
+    # execute their fault-free baseline inline, so strict would only
+    # double the (already tier-1-covered) validation cost.
+    "faults": {
+        "families": ["er", "path", "ws"],
+        "sizes": [16, 24],
+        "algorithms": ["det-n43", "naive-bf"],
+        "strict": False,
+        "faults": ["drop", "duplicate", "delay", "crash"],
+        "fault_seeds": [1],
     },
 }
 
@@ -180,16 +206,23 @@ SWEEP_PRESETS: Dict[str, Dict[str, object]] = {
 def make_graph(family: str, n: int, seed: int, weights: str = "uniform") -> Graph:
     """Instantiate one generator family at roughly ``n`` nodes.
 
-    ``weights`` picks a :data:`WEIGHT_MODELS` entry; the ``zero`` model only
-    exists for the Erdos-Renyi families (the other generators have no
-    zero-weight knob).
+    ``weights`` picks a :data:`WEIGHT_MODELS` entry; the ``zero_frac``
+    models (``zero``, ``pareto-zero``) only exist for the Erdos-Renyi
+    families — the other generators have no zero-weight knob, and asking
+    for one raises a :class:`ValueError` naming both the model and the
+    family.
     """
     if weights not in WEIGHT_MODELS:
         raise ValueError(f"unknown weight model {weights!r}")
     wkw = dict(WEIGHT_MODELS[weights])
     if "zero_frac" in wkw and family not in ("er", "er-directed"):
-        raise ValueError(f"weight model 'zero' is only defined for er families, "
-                         f"not {family!r}")
+        # Named rejection instead of letting the generator choke on an
+        # unexpected zero_frac kwarg: the message carries both the model
+        # and the family so sweep errors are self-explanatory.
+        raise ValueError(
+            f"weight model {weights!r} sets zero_frac, which only the er "
+            f"families support; family {family!r} has no zero-weight knob"
+        )
     if family == "er":
         return erdos_renyi(n, p=max(0.1, 4.0 / n), seed=seed, **wkw)
     if family == "er-directed":

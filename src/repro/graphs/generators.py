@@ -27,15 +27,37 @@ from repro.graphs.spec import Graph
 
 WeightRange = Tuple[float, float]
 
+#: Shape parameter of the heavy-tailed ``dist="pareto"`` weight draw:
+#: alpha < 2 gives infinite variance, so a few enormous edges dominate
+#: every instance — the adversarial regime for weighted-distance
+#: pipelines tuned on uniform weights.
+PARETO_ALPHA = 1.2
 
-def _weights(rng: random.Random, wrange: WeightRange, integer: bool, zero_frac: float):
+#: Weight distributions every generator accepts via ``dist=``.
+DISTRIBUTIONS = ("uniform", "pareto")
+
+
+def _weights(
+    rng: random.Random,
+    wrange: WeightRange,
+    integer: bool,
+    zero_frac: float,
+    dist: str = "uniform",
+):
     lo, hi = wrange
     if not 0.0 <= zero_frac <= 1.0:
         raise ValueError("zero_frac must be in [0, 1]")
+    if dist not in DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown weight distribution {dist!r}; one of {DISTRIBUTIONS}"
+        )
 
     def draw() -> float:
         if zero_frac and rng.random() < zero_frac:
             return 0.0
+        if dist == "pareto":
+            w = rng.paretovariate(PARETO_ALPHA)
+            return float(round(w)) if integer else w
         if integer:
             return float(rng.randint(int(lo), int(hi)))
         return rng.uniform(lo, hi)
@@ -51,6 +73,7 @@ def erdos_renyi(
     wrange: WeightRange = (0.0, 100.0),
     integer: bool = False,
     zero_frac: float = 0.0,
+    dist: str = "uniform",
 ) -> Graph:
     """G(n, p) with a random Hamiltonian backbone for connectivity.
 
@@ -59,7 +82,7 @@ def erdos_renyi(
     with probability ``p``.
     """
     rng = random.Random(seed)
-    draw = _weights(rng, wrange, integer, zero_frac)
+    draw = _weights(rng, wrange, integer, zero_frac, dist)
     perm = list(range(n))
     rng.shuffle(perm)
     pairs = set()
@@ -82,10 +105,11 @@ def path_graph(
     seed: int = 0,
     wrange: WeightRange = (1.0, 10.0),
     integer: bool = False,
+    dist: str = "uniform",
 ) -> Graph:
     """The n-node path 0-1-...-(n-1): diameter Θ(n), worst case for hops."""
     rng = random.Random(seed)
-    draw = _weights(rng, wrange, integer, 0.0)
+    draw = _weights(rng, wrange, integer, 0.0, dist)
     edges = [(i, i + 1, draw()) for i in range(n - 1)]
     return Graph(n, edges, seed=seed, name=f"path(n={n})")
 
@@ -95,10 +119,11 @@ def ring_graph(
     seed: int = 0,
     wrange: WeightRange = (1.0, 10.0),
     integer: bool = False,
+    dist: str = "uniform",
 ) -> Graph:
     """The n-cycle."""
     rng = random.Random(seed)
-    draw = _weights(rng, wrange, integer, 0.0)
+    draw = _weights(rng, wrange, integer, 0.0, dist)
     edges = [(i, (i + 1) % n, draw()) for i in range(n)]
     if n == 2:
         edges = edges[:1]
@@ -110,10 +135,11 @@ def complete_graph(
     seed: int = 0,
     wrange: WeightRange = (0.0, 100.0),
     integer: bool = False,
+    dist: str = "uniform",
 ) -> Graph:
     """K_n — diameter 1, maximal bandwidth."""
     rng = random.Random(seed)
-    draw = _weights(rng, wrange, integer, 0.0)
+    draw = _weights(rng, wrange, integer, 0.0, dist)
     edges = [(u, v, draw()) for u in range(n) for v in range(u + 1, n)]
     return Graph(n, edges, seed=seed, name=f"complete(n={n})")
 
@@ -124,10 +150,11 @@ def grid2d(
     seed: int = 0,
     wrange: WeightRange = (1.0, 10.0),
     integer: bool = False,
+    dist: str = "uniform",
 ) -> Graph:
     """rows x cols grid: moderate diameter, planar congestion patterns."""
     rng = random.Random(seed)
-    draw = _weights(rng, wrange, integer, 0.0)
+    draw = _weights(rng, wrange, integer, 0.0, dist)
     edges = []
     for r in range(rows):
         for c in range(cols):
@@ -144,10 +171,11 @@ def random_tree(
     seed: int = 0,
     wrange: WeightRange = (1.0, 10.0),
     integer: bool = False,
+    dist: str = "uniform",
 ) -> Graph:
     """Uniform random recursive tree — sparse, unique paths."""
     rng = random.Random(seed)
-    draw = _weights(rng, wrange, integer, 0.0)
+    draw = _weights(rng, wrange, integer, 0.0, dist)
     edges = [(rng.randrange(v), v, draw()) for v in range(1, n)]
     return Graph(n, edges, seed=seed, name=f"tree(n={n})")
 
@@ -158,10 +186,11 @@ def barabasi_albert(
     seed: int = 0,
     wrange: WeightRange = (1.0, 10.0),
     integer: bool = False,
+    dist: str = "uniform",
 ) -> Graph:
     """Preferential-attachment graph: heavy hubs, small diameter."""
     rng = random.Random(seed)
-    draw = _weights(rng, wrange, integer, 0.0)
+    draw = _weights(rng, wrange, integer, 0.0, dist)
     if n < 2:
         return Graph(n, [], seed=seed, name=f"ba(n={n})")
     targets = [0]
@@ -187,6 +216,7 @@ def layered_digraph(
     p: float = 0.6,
     wrange: WeightRange = (1.0, 10.0),
     integer: bool = False,
+    dist: str = "uniform",
 ) -> Graph:
     """Directed layered graph: many pairs at hop distance Θ(layers).
 
@@ -196,7 +226,7 @@ def layered_digraph(
     This makes ``hops(x, c) > n^{2/3}`` common, exercising Algorithm 8.
     """
     rng = random.Random(seed)
-    draw = _weights(rng, wrange, integer, 0.0)
+    draw = _weights(rng, wrange, integer, 0.0, dist)
     n = layers * width
     pairs = set()
     for l in range(layers - 1):
@@ -218,6 +248,7 @@ def star_of_paths(
     seed: int = 0,
     wrange: WeightRange = (1.0, 10.0),
     integer: bool = False,
+    dist: str = "uniform",
 ) -> Graph:
     """``arms`` disjoint paths of length ``arm_len`` joined at a hub (node 0).
 
@@ -226,7 +257,7 @@ def star_of_paths(
     bottleneck-node instance.
     """
     rng = random.Random(seed)
-    draw = _weights(rng, wrange, integer, 0.0)
+    draw = _weights(rng, wrange, integer, 0.0, dist)
     edges = []
     nxt = 1
     for _ in range(arms):
@@ -244,6 +275,7 @@ def random_geometric(
     seed: int = 0,
     wrange: WeightRange = (0.0, 0.0),
     integer: bool = False,
+    dist: str = "uniform",
 ) -> Graph:
     """Unit-square random geometric graph (the classic sensor-net model).
 
@@ -260,8 +292,8 @@ def random_geometric(
     if radius is None:
         radius = 1.6 * _math.sqrt(_math.log(max(n, 2)) / max(n, 2))
     pts = [(rng.random(), rng.random()) for _ in range(n)]
-    draw = _weights(rng, wrange, integer, 0.0)
-    euclid = wrange == (0.0, 0.0)
+    draw = _weights(rng, wrange, integer, 0.0, dist)
+    euclid = wrange == (0.0, 0.0) and dist == "uniform"
 
     def dist(i: int, j: int) -> float:
         return _math.hypot(pts[i][0] - pts[j][0], pts[i][1] - pts[j][1])
@@ -287,6 +319,7 @@ def watts_strogatz(
     seed: int = 0,
     wrange: WeightRange = (1.0, 10.0),
     integer: bool = False,
+    dist: str = "uniform",
 ) -> Graph:
     """Small-world graph: ring lattice with ``k`` neighbors, rewired.
 
@@ -296,7 +329,7 @@ def watts_strogatz(
     the regime where the `h`-hop machinery saturates quickly.
     """
     rng = random.Random(seed)
-    draw = _weights(rng, wrange, integer, 0.0)
+    draw = _weights(rng, wrange, integer, 0.0, dist)
     half = max(1, k // 2)
     pairs = set()
     for u in range(n):
@@ -328,6 +361,7 @@ def caterpillar(
     seed: int = 0,
     wrange: WeightRange = (1.0, 10.0),
     integer: bool = False,
+    dist: str = "uniform",
 ) -> Graph:
     """A spine path with pendant leaves — maximal leaf-to-spine traffic.
 
@@ -336,7 +370,7 @@ def caterpillar(
     shape for the score machinery.
     """
     rng = random.Random(seed)
-    draw = _weights(rng, wrange, integer, 0.0)
+    draw = _weights(rng, wrange, integer, 0.0, dist)
     edges = [(i, i + 1, draw()) for i in range(spine_len - 1)]
     nxt = spine_len
     for s in range(spine_len):
@@ -354,6 +388,7 @@ def broom(
     seed: int = 0,
     wrange: WeightRange = (1.0, 10.0),
     integer: bool = False,
+    dist: str = "uniform",
 ) -> Graph:
     """A path of ``handle_len`` nodes whose far end fans out to ``brush`` leaves.
 
@@ -362,7 +397,7 @@ def broom(
     argument (Lemma 4.6) non-trivial.
     """
     rng = random.Random(seed)
-    draw = _weights(rng, wrange, integer, 0.0)
+    draw = _weights(rng, wrange, integer, 0.0, dist)
     edges = [(i, i + 1, draw()) for i in range(handle_len - 1)]
     hub = handle_len - 1
     for b in range(brush):
@@ -373,6 +408,8 @@ def broom(
 
 
 __all__ = [
+    "DISTRIBUTIONS",
+    "PARETO_ALPHA",
     "barabasi_albert",
     "broom",
     "caterpillar",

@@ -1,0 +1,101 @@
+"""Metamorphic weight-model tests: scaling invariance, named rejections.
+
+The new registry weight models (heavy-tailed ``pareto``, degenerate
+``near-tie``) stress exactly the places tie-breaking and exact dyadic
+arithmetic matter, so their tests are metamorphic: uniformly scaling
+every weight by a dyadic constant must preserve the shortest-path trees
+and every tie-break winner while scaling distances exactly; and the
+``zero_frac`` models must be rejected *by name* outside the er families
+instead of failing deep inside a generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apsp import naive_bf_apsp
+from repro.congest import CongestNetwork
+from repro.experiments.registry import WEIGHT_MODELS, make_graph
+from repro.experiments.spec import ScenarioSpec
+from repro.graphs.generators import DISTRIBUTIONS, PARETO_ALPHA, erdos_renyi
+from repro.graphs.spec import Graph
+
+
+def scaled_copy(graph: Graph, factor: float) -> Graph:
+    """The same instance with every weight multiplied by ``factor``.
+
+    Same node set, same edge set, same tie-break seed — only the primary
+    weight component changes, so lexicographic path comparisons must
+    come out identically when ``factor`` is an exact dyadic scalar.
+    """
+    return Graph(graph.n,
+                 [(u, v, factor * w) for (u, v, w) in graph.edges],
+                 directed=graph.directed, seed=graph.seed,
+                 name=f"{graph.name}-x{factor}")
+
+
+@pytest.mark.parametrize("weights", ["near-tie", "uniform", "pareto"])
+@pytest.mark.parametrize("family,seed", [("er", 1), ("ws", 2)])
+def test_uniform_scaling_preserves_trees_and_tiebreaks(family, seed, weights):
+    graph = make_graph(family, 20, seed, weights)
+    scaled = scaled_copy(graph, 2.0)  # power of two: exact on dyadic grid
+    res = naive_bf_apsp(CongestNetwork(graph, strict=False), graph)
+    res2 = naive_bf_apsp(CongestNetwork(scaled, strict=False), scaled)
+    # Same predecessor on every (source, node) pair = same shortest-path
+    # trees *and* the same tie-break winners wherever weights tie.
+    assert (res.pred == res2.pred).all()
+    finite = np.isfinite(res.dist)
+    assert (np.isfinite(res2.dist) == finite).all()
+    assert (res2.dist[finite] == 2.0 * res.dist[finite]).all()
+
+
+def test_near_tie_weights_actually_tie():
+    # The model's spread (1e-9) is far below the dyadic weight quantum,
+    # so every edge weighs exactly 1.0 and *all* path comparisons of
+    # equal hop count are decided by the tie-break keys.
+    graph = make_graph("er", 24, 3, "near-tie")
+    assert {w for (_u, _v, w) in graph.edges} == {1.0}
+
+
+def test_pareto_weights_heavy_tailed_and_deterministic():
+    g1 = make_graph("er", 32, 3, "pareto")
+    g2 = make_graph("er", 32, 3, "pareto")
+    assert list(g1.edges) == list(g2.edges)
+    ws = sorted(w for (_u, _v, w) in g1.edges)
+    assert ws[0] >= 1.0  # paretovariate support starts at 1
+    assert ws[-1] > 3.0  # the alpha=1.2 tail shows up even at this size
+    assert PARETO_ALPHA < 2.0  # infinite-variance regime, by construction
+
+
+def test_pareto_zero_keeps_zero_edges_on_er():
+    graph = make_graph("er", 32, 5, "pareto-zero")
+    ws = [w for (_u, _v, w) in graph.edges]
+    assert any(w == 0.0 for w in ws)
+    assert any(w >= 1.0 for w in ws)
+
+
+@pytest.mark.parametrize("weights", ["pareto-zero", "zero"])
+@pytest.mark.parametrize("family", ["rgg", "ws", "path"])
+def test_zero_frac_rejected_outside_er_by_name(family, weights):
+    with pytest.raises(ValueError) as excinfo:
+        make_graph(family, 16, 1, weights)
+    message = str(excinfo.value)
+    assert weights in message and family in message
+    # The spec layer rejects the combination the same way.
+    with pytest.raises(ValueError):
+        ScenarioSpec(family=family, n=16, algorithm="naive-bf",
+                     weights=weights)
+
+
+def test_unknown_distribution_rejected():
+    with pytest.raises(ValueError, match="unknown weight distribution"):
+        erdos_renyi(8, p=0.5, seed=1, dist="cauchy")
+    assert "pareto" in DISTRIBUTIONS and "uniform" in DISTRIBUTIONS
+
+
+def test_registry_models_cover_the_new_axes():
+    assert WEIGHT_MODELS["pareto"]["dist"] == "pareto"
+    assert WEIGHT_MODELS["pareto-zero"]["zero_frac"] > 0
+    lo, hi = WEIGHT_MODELS["near-tie"]["wrange"]
+    assert lo == 1.0 and 0 < hi - lo < 1e-6
