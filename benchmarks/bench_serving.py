@@ -1,0 +1,228 @@
+"""S1 — serving latency/throughput: the distance oracle under load.
+
+Builds the pinned serving scenario (the same spec ``repro perf`` gates,
+:func:`repro.analysis.trajectory.serving_spec`) into an oracle artifact,
+starts the asyncio HTTP server on a free port, and drives it with
+concurrent keep-alive clients issuing a deterministic mix of
+``/distance`` and ``/path`` queries.  Two claims are asserted, not just
+measured:
+
+* **bit-identity** — every served distance, parsed back from its JSON
+  float, must compare equal to the mmap'd float64 the checksummed
+  artifact holds (the serving layer's "provably bit-identical to the
+  sweep record" contract, end to end through HTTP);
+* **zero errors** — no non-200 response and no malformed payload under
+  concurrency.
+
+The measurement emits one schema'd
+:class:`~repro.analysis.trajectory.BenchRecord` through
+``_common.emit_records`` as ``benchmarks/results/BENCH_serving.json``:
+``exact`` pins the artifact byte size, node count, and finite-pair
+count (pure functions of the spec — they gate strictly on any machine);
+``timing`` carries request-latency p50/p99 milliseconds and
+queries-per-sec, gated inside the noise band on a matching machine.
+CI's perf-gate job replays it with
+``python -m repro perf --check --records benchmarks/results/BENCH_serving.json``.
+
+Usage::
+
+    python benchmarks/bench_serving.py [--smoke] [--clients C] [--requests R]
+
+or through pytest-benchmark: ``pytest benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import sys
+import time
+from typing import List, Optional, Tuple
+
+from repro.analysis import render_table
+from repro.analysis.trajectory import make_record, serving_spec
+from repro.experiments.runner import run_scenario
+from repro.serving import OracleStore, build_artifact, load_artifact
+from repro.serving.server import OracleServer
+
+from _common import emit, emit_records, once
+
+BENCH = "serving"
+SCENARIO = "http-er-n48-fast"
+
+SMOKE_CLIENTS, SMOKE_REQUESTS = 4, 64
+FULL_CLIENTS, FULL_REQUESTS = 8, 256
+
+#: every PATH_EVERY-th request reconstructs a path instead of a distance
+PATH_EVERY = 8
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+async def _request(reader, writer, target: str) -> Tuple[float, int, dict]:
+    """One keep-alive GET; returns (latency seconds, status, payload)."""
+    t0 = time.perf_counter()
+    writer.write(f"GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n"
+                 .encode("latin-1"))
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        name, _, value = text.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value)
+    body = await reader.readexactly(length)
+    return time.perf_counter() - t0, status, json.loads(body)
+
+
+async def _client(host: str, port: int, key: str, client_id: int,
+                  requests: int, oracle, latencies: List[float],
+                  problems: List[str]) -> None:
+    """One keep-alive connection issuing a deterministic query stream."""
+    n = oracle.n
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for i in range(requests):
+            s = (client_id * 131 + 13 * i) % n
+            t = (client_id * 89 + 7 * i + 5) % n
+            want_path = i % PATH_EVERY == PATH_EVERY - 1
+            route = "/path" if want_path else "/distance"
+            target = f"{route}?scenario={key}&source={s}&target={t}"
+            truth = oracle.distance(s, t)
+            if want_path and math.isinf(truth):
+                continue  # /path 400s on unreachable pairs by design
+            latency, status, payload = await _request(reader, writer, target)
+            latencies.append(latency)
+            if status != 200:
+                problems.append(f"{target}: HTTP {status} {payload}")
+                continue
+            served = payload["distance"]
+            served = float("inf") if served is None else served
+            # Bit-identity through HTTP: the JSON float repr round-trips,
+            # so == here means the exact float64 the record hashed.
+            if served != truth:
+                problems.append(
+                    f"{target}: served {served!r} != oracle {truth!r}")
+            if want_path:
+                nodes = payload["path"]
+                if (nodes[0] != s or nodes[-1] != t
+                        or payload["hops"] != len(nodes) - 1):
+                    problems.append(f"{target}: inconsistent path {payload}")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _drive(store: OracleStore, key: str, oracle, clients: int,
+                 requests: int):
+    """Start the server, run the client fleet, return the measurements."""
+    server = await OracleServer(store, port=0).start()
+    latencies: List[float] = []
+    problems: List[str] = []
+    t0 = time.perf_counter()
+    try:
+        await asyncio.gather(*[
+            _client(server.host, server.port, key, c, requests, oracle,
+                    latencies, problems)
+            for c in range(clients)
+        ])
+        wall = time.perf_counter() - t0
+        stats = server.metrics.snapshot(store.stats())
+    finally:
+        await server.close()
+    return latencies, problems, wall, stats
+
+
+def serving_report(clients: int, requests: int):
+    spec = serving_spec()
+    record = run_scenario(spec, verify=False)
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serving-") as tmp:
+        info = build_artifact(record, tmp)
+        oracle = load_artifact(info.path, verify=True)
+        store = OracleStore(tmp, capacity=2)
+        try:
+            latencies, problems, wall, stats = asyncio.run(
+                _drive(store, info.hash, oracle, clients, requests))
+        finally:
+            store.close()
+            oracle.close()
+
+    assert not problems, (
+        f"{len(problems)} serving problem(s); first: {problems[0]}")
+    assert latencies, "no request completed"
+    assert sum(stats["errors"].values()) == 0, f"server errors: {stats}"
+    window = sorted(latencies)
+    p50_ms = _percentile(window, 0.50) * 1e3
+    p99_ms = _percentile(window, 0.99) * 1e3
+    qps = len(latencies) / wall
+
+    bench_record = make_record(
+        BENCH, SCENARIO,
+        exact={
+            "artifact_bytes": info.nbytes,
+            "n": oracle.n,
+            "finite_pairs": record["finite_pairs"],
+        },
+        timing={
+            "p50_ms": round(p50_ms, 4),
+            "p99_ms": round(p99_ms, 4),
+            "queries_per_sec": round(qps, 1),
+        },
+    )
+    emit_records(BENCH, [bench_record])
+
+    report = render_table(
+        ["scenario", "clients", "requests", "p50 (ms)", "p99 (ms)", "qps"],
+        [[info.label, clients, len(latencies),
+          f"{p50_ms:.3f}", f"{p99_ms:.3f}", f"{qps:,.0f}"]],
+        title="S1: distance-oracle serving under concurrent load "
+              "(every response asserted bit-identical to the artifact)",
+    )
+    report += (f"\nserver stats: {stats['total_requests']} requests, "
+               f"0 errors, store {stats['store']}")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized load (fewer clients and requests)")
+    parser.add_argument("--clients", type=int,
+                        help="concurrent keep-alive connections")
+    parser.add_argument("--requests", type=int,
+                        help="requests per client")
+    args = parser.parse_args(argv)
+    clients = args.clients or (SMOKE_CLIENTS if args.smoke else FULL_CLIENTS)
+    requests = args.requests or (
+        SMOKE_REQUESTS if args.smoke else FULL_REQUESTS)
+    emit("serving", serving_report(clients, requests))
+    return 0
+
+
+def test_serving_smoke(benchmark):
+    """pytest-benchmark entry: the --smoke measurement, one pass."""
+    report = once(benchmark,
+                  lambda: serving_report(SMOKE_CLIENTS, SMOKE_REQUESTS))
+    emit("serving", report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

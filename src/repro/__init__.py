@@ -33,7 +33,8 @@ convergecast / Bellman-Ford), :mod:`repro.csssp` (consistent hop-limited
 SSSP collections), :mod:`repro.blocker` (Section 3), :mod:`repro.pipeline`
 (Section 4 + Step 7), :mod:`repro.apsp` (end-to-end algorithms),
 :mod:`repro.experiments` (scenario-sweep subsystem),
-:mod:`repro.analysis` (exponent fits + Table 1).
+:mod:`repro.analysis` (exponent fits + Table 1), :mod:`repro.serving`
+(memory-mapped distance-oracle artifacts + the async query server).
 """
 
 __version__ = "1.1.0"
@@ -48,4 +49,5 @@ __all__ = [
     "graphs",
     "pipeline",
     "primitives",
+    "serving",
 ]

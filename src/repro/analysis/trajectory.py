@@ -607,3 +607,101 @@ def run_scenarios(
             timing=timing,
         ))
     return records
+
+
+# ----------------------------------------------------------------------
+# The pinned serving scenario (distance-oracle query path)
+# ----------------------------------------------------------------------
+
+#: bench name the pinned serving scenario is recorded under
+SERVING_BENCH = "serving_smoke"
+
+#: the pinned serving scenario key: one fast-path det-n43 ER instance
+#: built into an oracle artifact and queried in-process
+SERVING_SCENARIO_KEY = "oracle-er-n48-fast"
+
+#: deterministic query mix per timed repetition
+SERVING_DISTANCE_QUERIES = 2048
+SERVING_PATH_QUERIES = 128
+
+
+def serving_spec():
+    """The :class:`~repro.experiments.spec.ScenarioSpec` behind the
+    pinned serving scenario (shared by ``repro perf`` and
+    ``benchmarks/bench_serving.py`` so both gate the same artifact)."""
+    from repro.experiments.spec import ScenarioSpec
+
+    return ScenarioSpec(family="er", n=48, algorithm="det-n43", seed=1,
+                        strict=False)
+
+
+def run_serving_record(
+    reps: int = DEFAULT_REPS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> "BenchRecord":
+    """Measure the pinned serving scenario into one :class:`BenchRecord`.
+
+    Runs the pinned spec, builds its oracle artifact in a temporary
+    store, loads it back with checksum verification on, and times a
+    deterministic query mix (:data:`SERVING_DISTANCE_QUERIES` distance
+    lookups + :data:`SERVING_PATH_QUERIES` path reconstructions) with
+    the interleaved gc-paused methodology.  ``exact`` pins the artifact
+    byte size, node count, and finite-pair count — all pure functions of
+    the spec (the header carries no timestamps or machine identity), so
+    they gate strictly across machines; ``timing`` carries the
+    noise-banded query latency and throughput.
+    """
+    import tempfile
+
+    from repro.experiments.runner import run_scenario
+    from repro.serving.artifact import build_artifact, load_artifact
+
+    spec = serving_spec()
+    record = run_scenario(spec, verify=False)
+    if progress is not None:
+        progress(f"{SERVING_SCENARIO_KEY}: record {record['hash']} "
+                 f"({record['finite_pairs']} finite pairs)")
+    with tempfile.TemporaryDirectory(prefix="repro-serving-") as tmp:
+        info = build_artifact(record, tmp)
+        oracle = load_artifact(info.path, verify=True)
+        try:
+            n = oracle.n
+            pairs = [((13 * i) % n, (7 * i + 5) % n)
+                     for i in range(SERVING_DISTANCE_QUERIES)]
+            path_pairs = [((5 * i + 1) % n, (11 * i + 3) % n)
+                          for i in range(SERVING_PATH_QUERIES)]
+            inf = float("inf")
+
+            def batch():
+                checksum = 0.0
+                hops = 0
+                for s, t in pairs:
+                    d = oracle.distance(s, t)
+                    if d != inf:
+                        checksum += d
+                for s, t in path_pairs:
+                    if oracle.distance(s, t) != inf:
+                        hops += len(oracle.path(s, t)) - 1
+                return checksum, hops
+
+            medians = interleaved_cpu_medians(
+                {SERVING_SCENARIO_KEY: batch}, reps=reps)
+        finally:
+            oracle.close()
+    wall = medians[SERVING_SCENARIO_KEY]
+    queries = SERVING_DISTANCE_QUERIES + 2 * SERVING_PATH_QUERIES
+    timing = {"query_batch_s": round(wall, 6)}
+    if wall > 0:
+        timing["queries_per_sec"] = round(queries / wall, 1)
+    if progress is not None:
+        progress(f"{SERVING_SCENARIO_KEY}: {queries} queries in "
+                 f"{wall:.4f}s median")
+    return make_record(
+        SERVING_BENCH, SERVING_SCENARIO_KEY,
+        exact={
+            "artifact_bytes": info.nbytes,
+            "n": n,
+            "finite_pairs": record["finite_pairs"],
+        },
+        timing=timing,
+    )

@@ -21,10 +21,20 @@ result without writing code:
   matching machines.  ``--check`` exits 1 naming the regressed metric
   and scenario (CI's blocking ``perf-gate`` job); ``--update`` appends
   refreshed baselines with an explicit diff.
+* ``build-oracle`` — turn cached sweep records into versioned
+  memory-mapped distance-oracle artifacts (checksummed bit-identical to
+  the records; :mod:`repro.serving.artifact`).
+* ``serve`` — answer distance/path queries over an oracle store from a
+  stdlib-asyncio HTTP server with per-request metrics
+  (:mod:`repro.serving.server`).
 * ``table1`` — regenerate Table 1 (measured) on a size sweep.
 * ``blocker`` — run the four blocker constructions on one instance.
 * ``step6`` — standalone reversed q-sink comparison (pipelined vs
   broadcast).
+
+Sweep axis precedence is uniform: an explicit flag (including the
+tri-state ``--strict``/``--fast`` and ``--compressed``/``--no-compressed``
+pairs) beats the ``--preset`` value, which beats the built-in default.
 
 The graph-family / algorithm registries live in
 :mod:`repro.experiments.registry`; this module is a thin argparse layer
@@ -49,6 +59,7 @@ from repro.experiments import (
     SWEEP_PRESETS,
     WEIGHT_MODELS,
     ScenarioMatrix,
+    SweepError,
     SweepExecutor,
     make_graph,
 )
@@ -125,8 +136,14 @@ def cmd_sweep(args) -> int:
         deliveries=args.deliveries or (None,),
         faults=fault_models,
         fault_seeds=fault_seeds,
-        strict=not args.fast and bool(preset.get("strict", True)),
-        compress=args.compressed or bool(preset.get("compress", False)),
+        # Tri-state flags: an explicit --strict/--fast or
+        # --compressed/--no-compressed overrides the preset; with
+        # neither given (None) the preset value applies, then the
+        # built-in default.
+        strict=(args.strict if args.strict is not None
+                else bool(preset.get("strict", True))),
+        compress=(args.compressed if args.compressed is not None
+                  else bool(preset.get("compress", False))),
     )
     try:
         specs = matrix.expand()
@@ -144,7 +161,20 @@ def cmd_sweep(args) -> int:
     def progress(spec, was_cached):
         print(f"  [{'cache' if was_cached else 'run'}] {spec.key} {spec.label}")
 
-    records = executor.run(specs, progress=progress)
+    try:
+        records = executor.run(specs, progress=progress)
+    except SweepError as exc:
+        # Every completed record was already stored; name what failed.
+        print(f"done: {executor.executed} executed, "
+              f"{executor.cached} from cache")
+        print(f"sweep failed: {exc}")
+        for failure in exc.failures:
+            print(f"  [fail] {failure.spec.key} {failure.spec.label}: "
+                  f"{failure.error}")
+        if args.cache_dir:
+            print(f"completed records are cached under {args.cache_dir}; "
+                  f"re-running the same sweep retries only the failures")
+        return 1
     print(f"done: {executor.executed} executed, {executor.cached} from cache")
     print(sweep_table(records, title=f"scenario sweep ({len(records)} runs)"))
     return 0
@@ -178,7 +208,15 @@ def cmd_report(args) -> int:
                                  workers=args.workers)
         status(f"report: generating sweep ({len(specs)} scenarios, "
                f"preset={args.preset}, cache={cache_dir or 'off'})")
-        record_sets.append(executor.run(specs))
+        try:
+            record_sets.append(executor.run(specs))
+        except SweepError as exc:
+            for failure in exc.failures:
+                status(f"  [fail] {failure.spec.key} {failure.spec.label}: "
+                       f"{failure.error}")
+            raise SystemExit(
+                f"repro report: generating sweep failed — {exc}"
+            ) from exc
         sources.append("generating sweep")
         status(f"  {executor.executed} executed, "
                f"{executor.cached} from cache")
@@ -285,22 +323,32 @@ def cmd_perf(args) -> int:
               f"{', '.join(args.records)}", file=sys.stderr)
     else:
         scenarios = list(trajectory.PERF_SCENARIOS)
+        serving = True  # the serving scenario is pinned alongside the four
         if args.scenarios:
             by_key = {s.key: s for s in scenarios}
-            unknown = [k for k in args.scenarios if k not in by_key]
+            known = set(by_key) | {trajectory.SERVING_SCENARIO_KEY}
+            unknown = [k for k in args.scenarios if k not in known]
             if unknown:
                 raise SystemExit(
                     f"repro perf: unknown scenario(s) "
                     f"{', '.join(unknown)}; pinned scenarios: "
-                    f"{', '.join(sorted(by_key))}"
+                    f"{', '.join(sorted(known))}"
                 )
-            scenarios = [by_key[k] for k in args.scenarios]
-        print(f"perf: measuring {len(scenarios)} pinned scenario(s), "
-              f"{args.reps} interleaved rep(s)", file=sys.stderr)
-        current = trajectory.run_scenarios(
-            scenarios, reps=args.reps,
-            progress=lambda line: print(f"  {line}", file=sys.stderr),
-        )
+            scenarios = [by_key[k] for k in args.scenarios if k in by_key]
+            serving = trajectory.SERVING_SCENARIO_KEY in args.scenarios
+        print(f"perf: measuring {len(scenarios) + serving} pinned "
+              f"scenario(s), {args.reps} interleaved rep(s)",
+              file=sys.stderr)
+
+        def echo(line):
+            print(f"  {line}", file=sys.stderr)
+
+        current = (trajectory.run_scenarios(scenarios, reps=args.reps,
+                                            progress=echo)
+                   if scenarios else [])
+        if serving:
+            current.append(trajectory.run_serving_record(
+                reps=args.reps, progress=echo))
         from repro.analysis.sweep_report import write_json
 
         out = write_json(args.out, trajectory.records_payload(current))
@@ -377,6 +425,46 @@ def cmd_perf(args) -> int:
             return 1
         print(f"perf trajectory OK ({comparison.checked} gated metrics, "
               f"{len(current)} scenario(s))")
+    return 0
+
+
+def cmd_build_oracle(args) -> int:
+    from repro.serving import ArtifactError, build_store
+
+    def progress(info):
+        print(f"  [oracle] {info.hash} {info.label} "
+              f"(n={info.n}, {info.nbytes} bytes)")
+
+    try:
+        built, skipped = build_store(args.records, args.out,
+                                     force=args.force, progress=progress)
+    except ArtifactError as exc:
+        raise SystemExit(f"repro build-oracle: {exc}") from exc
+    for line in skipped:
+        print(f"  [skip] {line}")
+    if not built:
+        raise SystemExit(
+            "repro build-oracle: no record became an oracle (see the "
+            "skip lines above); point --records at fault-free cached "
+            "sweep records"
+        )
+    print(f"oracle store {args.out}: {len(built)} artifact(s), "
+          f"{len(skipped)} skipped")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serving import ArtifactError, OracleStore, run_server
+
+    try:
+        store = OracleStore(args.store, capacity=args.hot_set,
+                            verify=not args.no_verify)
+    except ArtifactError as exc:
+        raise SystemExit(f"repro serve: {exc}") from exc
+    try:
+        run_server(store, host=args.host, port=args.port)
+    finally:
+        store.close()
     return 0
 
 
@@ -508,11 +596,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON result cache directory (default: off)")
     p.add_argument("--force", action="store_true",
                    help="re-run scenarios even if cached")
-    p.add_argument("--fast", action="store_true",
-                   help="engine fast path: skip strict CONGEST model checks")
-    p.add_argument("--compressed", action="store_true",
-                   help="round-compressed fixed-schedule phases "
-                        "(bit-identical records, faster simulation)")
+    # Tri-state engine flags: default None means "defer to the preset",
+    # so `--preset large-n --strict` really runs strict instead of the
+    # preset's fast path silently winning.
+    engine = p.add_mutually_exclusive_group()
+    engine.add_argument("--strict", dest="strict", action="store_const",
+                        const=True, default=None,
+                        help="force strict CONGEST model checks on, "
+                             "overriding the preset")
+    engine.add_argument("--fast", dest="strict", action="store_const",
+                        const=False,
+                        help="engine fast path: skip strict CONGEST model "
+                             "checks, overriding the preset")
+    comp = p.add_mutually_exclusive_group()
+    comp.add_argument("--compressed", dest="compressed",
+                      action="store_const", const=True, default=None,
+                      help="round-compressed fixed-schedule phases "
+                           "(bit-identical records, faster simulation), "
+                           "overriding the preset")
+    comp.add_argument("--no-compressed", dest="compressed",
+                      action="store_const", const=False,
+                      help="force the message-level engine even when the "
+                           "preset compresses")
     p.add_argument("--no-verify", action="store_true")
     p.set_defaults(func=cmd_sweep)
 
@@ -601,6 +706,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenarios", nargs="+",
                    help="subset of pinned scenario keys to measure")
     p.set_defaults(func=cmd_perf)
+
+    from repro.serving.server import DEFAULT_HOST, DEFAULT_PORT
+    from repro.serving.store import DEFAULT_HOT_SET
+
+    p = sub.add_parser(
+        "build-oracle",
+        help="build memory-mapped distance-oracle artifacts from cached "
+             "sweep records",
+    )
+    p.add_argument("--records", nargs="+", required=True,
+                   help="cached sweep record directories or files; "
+                        "faulted records are skipped with an explanation")
+    p.add_argument("--out", required=True,
+                   help="oracle store directory (one <hash>.oracle per "
+                        "scenario)")
+    p.add_argument("--force", action="store_true",
+                   help="rebuild artifacts that already exist")
+    p.set_defaults(func=cmd_build_oracle)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve distance/path queries over an oracle store "
+             "(stdlib-asyncio HTTP)",
+    )
+    p.add_argument("--store", required=True,
+                   help="oracle store directory from `repro build-oracle`")
+    p.add_argument("--host", default=DEFAULT_HOST,
+                   help="bind address (default: %(default)s)")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT,
+                   help="bind port (default: %(default)s; 0 picks a free "
+                        "port)")
+    p.add_argument("--hot-set", type=int, default=DEFAULT_HOT_SET,
+                   help="LRU capacity of concurrently loaded oracles "
+                        "(default: %(default)s)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the load-time plane checksums (serving is "
+                        "then fast to warm but no longer provably "
+                        "bit-identical)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("table1", help="regenerate Table 1 (measured)")
     p.add_argument("--family", choices=GRAPH_FAMILIES, default="er")

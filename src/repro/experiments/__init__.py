@@ -17,7 +17,11 @@ the Table-1-style report and ``python -m repro report`` turns cached
 record directories into the committed cross-family results page.
 """
 
-from repro.experiments.executor import SweepExecutor
+from repro.experiments.executor import (
+    ScenarioFailure,
+    SweepError,
+    SweepExecutor,
+)
 from repro.experiments.registry import (
     ALGORITHMS,
     CLAIMED_BOUNDS,
@@ -37,8 +41,10 @@ __all__ = [
     "SWEEP_PRESETS",
     "WEIGHT_MODELS",
     "ClaimedBound",
+    "ScenarioFailure",
     "ScenarioMatrix",
     "ScenarioSpec",
+    "SweepError",
     "SweepExecutor",
     "make_graph",
     "run_scenario",

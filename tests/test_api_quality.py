@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.graphs",
     "repro.pipeline",
     "repro.primitives",
+    "repro.serving",
 ]
 
 

@@ -111,3 +111,96 @@ def test_sweep_command(capsys, tmp_path):
 def test_algorithm_registry_complete():
     assert set(ALGORITHMS) == {"det-n43", "det-n32", "rand-n43", "det-n53",
                                "naive-bf"}
+
+
+def test_sweep_strict_flag_overrides_fast_preset(capsys):
+    rc = main(["sweep", "--preset", "large-n-smoke", "--sizes", "10",
+               "--algorithms", "naive-bf", "--strict"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "/fast" not in out  # explicit --strict beats the preset
+
+
+def test_sweep_preset_fast_applies_without_engine_flags(capsys):
+    rc = main(["sweep", "--preset", "large-n-smoke", "--sizes", "10",
+               "--algorithms", "naive-bf"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "/fast" in out  # the preset's fast path still applies
+
+
+def test_sweep_no_compressed_overrides_compressing_preset(capsys):
+    rc = main(["sweep", "--preset", "large-n-compressed", "--families", "er",
+               "--sizes", "10", "--algorithms", "naive-bf", "--seeds", "1",
+               "--no-compressed"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "/compressed" not in out  # explicit override wins
+    assert "/fast" in out  # the preset's untouched axes still apply
+
+
+def test_sweep_engine_flag_pairs_are_mutually_exclusive(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--strict", "--fast"])
+    with pytest.raises(SystemExit):
+        main(["sweep", "--compressed", "--no-compressed"])
+
+
+def test_sweep_failure_names_scenarios_and_salvages_cache(
+        capsys, tmp_path, monkeypatch):
+    from repro.experiments import executor as executor_mod
+
+    real = executor_mod.run_scenario_dict
+
+    def flaky(spec_dict, verify):
+        if spec_dict["n"] == 12:
+            raise RuntimeError("injected CLI failure")
+        return real(spec_dict, verify)
+
+    monkeypatch.setattr(executor_mod, "run_scenario_dict", flaky)
+    rc = main(["sweep", "--families", "er", "--sizes", "10", "12",
+               "--algorithms", "naive-bf", "--fast",
+               "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "sweep failed" in out
+    assert "[fail]" in out and "injected CLI failure" in out
+    assert "completed records are cached" in out
+    assert len(list(tmp_path.glob("*.json"))) == 1  # n=10 was kept
+
+
+def test_build_oracle_and_serve_commands(capsys, tmp_path):
+    records = tmp_path / "records"
+    rc = main(["sweep", "--families", "er", "--sizes", "10",
+               "--algorithms", "naive-bf", "--fast",
+               "--cache-dir", str(records)])
+    assert rc == 0
+    capsys.readouterr()
+    store = tmp_path / "store"
+    rc = main(["build-oracle", "--records", str(records),
+               "--out", str(store)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "[oracle]" in out and "1 artifact(s), 0 skipped" in out
+    assert len(list(store.glob("*.oracle"))) == 1
+    # a second build short-circuits on the existing artifact
+    rc = main(["build-oracle", "--records", str(records),
+               "--out", str(store)])
+    assert rc == 0
+    # serve refuses a store that does not exist, with a pointer
+    with pytest.raises(SystemExit, match="build-oracle"):
+        main(["serve", "--store", str(tmp_path / "missing")])
+
+
+def test_build_oracle_refuses_all_faulted_records(capsys, tmp_path):
+    records = tmp_path / "records"
+    rc = main(["sweep", "--families", "er", "--sizes", "10",
+               "--algorithms", "naive-bf", "--fast", "--faults", "drop",
+               "--cache-dir", str(records)])
+    assert rc == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit, match="no record became an oracle"):
+        main(["build-oracle", "--records", str(records),
+              "--out", str(tmp_path / "store")])
+    out = capsys.readouterr().out
+    assert "[skip]" in out and "faulted" in out

@@ -330,3 +330,17 @@ def test_faulted_records_cache_byte_identically(tmp_path):
     other = SweepExecutor(cache_dir=str(tmp_path / "b"), workers=1).run(specs)
     for a, b in zip(first, other):
         assert strip_timing(a) == strip_timing(b)
+
+
+def test_faulted_timing_charges_each_side_its_own_clock():
+    # The faulted path runs the fault-free twin first; the faulted run's
+    # wall_s must not be double-charged with the baseline's wall time.
+    spec = ScenarioSpec(family="er", n=10, algorithm="naive-bf",
+                        strict=False, faults="drop")
+    timing = run_scenario(spec, verify=False)["timing"]
+    assert set(timing) == {"wall_s", "baseline_wall_s"}
+    assert timing["wall_s"] > 0 and timing["baseline_wall_s"] > 0
+    # fault-free records keep the single-clock shape
+    free = ScenarioSpec(family="er", n=10, algorithm="naive-bf",
+                        strict=False)
+    assert set(run_scenario(free, verify=False)["timing"]) == {"wall_s"}

@@ -408,3 +408,43 @@ def test_cli_scenarios_subset_filter(tmp_path, capsys):
     printed = capsys.readouterr().out
     assert "er-n64-compressed" in printed
     assert "er-n64-strict" not in printed
+
+
+# ----------------------------------------------------------------------
+# the pinned serving scenario
+# ----------------------------------------------------------------------
+
+def test_serving_record_exact_metrics_are_deterministic():
+    a = trajectory.run_serving_record(reps=1)
+    assert (a.bench, a.scenario) == (trajectory.SERVING_BENCH,
+                                     trajectory.SERVING_SCENARIO_KEY)
+    # pure functions of the spec: the artifact carries no timestamps or
+    # machine identity, so these gate strictly on any machine
+    assert set(a.exact) == {"artifact_bytes", "n", "finite_pairs"}
+    assert a.exact["n"] == 48
+    assert a.exact["finite_pairs"] == 48 * 48  # the pinned er-48 is connected
+    assert a.exact["artifact_bytes"] > 2 * 48 * 48 * 8  # both planes + header
+    assert a.timing["query_batch_s"] > 0
+    assert a.timing["queries_per_sec"] > 0
+    b = trajectory.run_serving_record(reps=1)
+    assert a.exact == b.exact  # bit-identical artifact either run
+
+
+def test_cli_perf_scenarios_can_select_the_serving_record(
+        tmp_path, tiny_scenarios, capsys):
+    history = str(tmp_path / "HISTORY.jsonl")
+    out = str(tmp_path / "PERF.json")
+    assert perf("--update", "--history", history, "--out", out, "--reps",
+                "1", "--scenarios", trajectory.SERVING_SCENARIO_KEY) == 0
+    text = capsys.readouterr().out
+    assert "serving_smoke/oracle-er-n48-fast" in text
+    assert "er-n12-fast" not in text  # only the requested key was measured
+    assert perf("--check", "--history", history, "--records", out) == 0
+
+
+def test_cli_perf_unknown_scenario_lists_the_serving_key(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        perf("--history", str(tmp_path / "h.jsonl"), "--scenarios", "warp")
+    message = str(exc.value)
+    assert "unknown scenario(s) warp" in message
+    assert trajectory.SERVING_SCENARIO_KEY in message
