@@ -33,6 +33,7 @@ convergecast / Bellman-Ford), :mod:`repro.csssp` (consistent hop-limited
 SSSP collections), :mod:`repro.blocker` (Section 3), :mod:`repro.pipeline`
 (Section 4 + Step 7), :mod:`repro.apsp` (end-to-end algorithms),
 :mod:`repro.experiments` (scenario-sweep subsystem),
+:mod:`repro.orchestrator` (resumable sharded sweep orchestration),
 :mod:`repro.analysis` (exponent fits + Table 1), :mod:`repro.serving`
 (memory-mapped distance-oracle artifacts + the async query server).
 """
@@ -47,6 +48,7 @@ __all__ = [
     "csssp",
     "experiments",
     "graphs",
+    "orchestrator",
     "pipeline",
     "primitives",
     "serving",

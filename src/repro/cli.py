@@ -27,6 +27,12 @@ result without writing code:
 * ``serve`` — answer distance/path queries over an oracle store from a
   stdlib-asyncio HTTP server with per-request metrics
   (:mod:`repro.serving.server`).
+* ``orchestrate`` — run a declarative YAML/JSON sweep config through the
+  resumable stage DAG (``generate -> shard-0..N-1 -> fit -> report``)
+  with scenario-hash sharding and a crash-resumable JSONL journal
+  (:mod:`repro.orchestrator`); ``--resume`` continues a killed run,
+  ``--shard i/N`` runs one shard's stage, ``--status`` prints the
+  journaled stage table.
 * ``table1`` — regenerate Table 1 (measured) on a size sweep.
 * ``blocker`` — run the four blocker constructions on one instance.
 * ``step6`` — standalone reversed q-sink comparison (pipelined vs
@@ -428,6 +434,82 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def cmd_orchestrate(args) -> int:
+    from repro.orchestrator import (
+        COMPLETED_SUCCESS,
+        TERMINAL,
+        ConfigError,
+        Orchestrator,
+        StateError,
+        load_plan,
+        parse_shard,
+    )
+
+    try:
+        plan = load_plan(args.config)
+    except ConfigError as exc:
+        raise SystemExit(f"repro orchestrate: {exc}") from exc
+    only_shard = None
+    if args.shard:
+        try:
+            only_shard, count = parse_shard(args.shard)
+        except ValueError as exc:
+            raise SystemExit(f"repro orchestrate: {exc}") from exc
+        if count != plan.shards:
+            raise SystemExit(
+                f"repro orchestrate: --shard {args.shard} does not match "
+                f"the plan's {plan.shards} shard(s) (from {plan.source})"
+            )
+
+    def echo(line: str) -> None:
+        print(line)
+
+    orch = Orchestrator(plan, resume=args.resume, echo=echo)
+
+    def stage_table(graph) -> None:
+        print(render_table(
+            ["stage", "status", "detail"],
+            [[s.name, s.status, s.detail] for s in graph.stages],
+            title=f"orchestration of {plan.source} "
+                  f"({plan.shards} shard(s), state={plan.state_dir})",
+        ))
+        # Failure lines keep the exact `[fail] <key> <label>: <error>`
+        # format `repro sweep` prints, so the failing stage and scenario
+        # keys are named verbatim.
+        for stage in graph.stages:
+            for line in stage.failures:
+                print(f"  {stage.name} {line}")
+
+    if args.status:
+        if not orch.plan.journal_path.exists():
+            print(f"repro orchestrate: no journal at "
+                  f"{orch.plan.journal_path} (run not started)")
+        try:
+            stage_table(orch.load_graph())
+        except StateError as exc:
+            raise SystemExit(f"repro orchestrate: {exc}") from exc
+        return 0
+
+    try:
+        graph = orch.run(only_shard=only_shard)
+    except (ConfigError, StateError) as exc:
+        raise SystemExit(f"repro orchestrate: {exc}") from exc
+    stage_table(graph)
+    # Exit 0 only when every stage that reached a terminal status
+    # succeeded outright (in --shard mode the other stages stay
+    # blocked, which is expected, not a failure).
+    bad = [s for s in graph.stages
+           if s.status in TERMINAL and s.status != COMPLETED_SUCCESS]
+    if bad:
+        names = ", ".join(f"{s.name} ({s.status})" for s in bad)
+        print(f"orchestration finished with problems: {names}")
+        if plan.records_dir:
+            print(f"completed records are cached under {plan.records_dir}; "
+                  f"re-running with --resume retries only the failures")
+        return 1
+    return 0
+
+
 def cmd_build_oracle(args) -> int:
     from repro.serving import ArtifactError, build_store
 
@@ -706,6 +788,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenarios", nargs="+",
                    help="subset of pinned scenario keys to measure")
     p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser(
+        "orchestrate",
+        help="run a declarative sweep config through the resumable "
+             "sharded stage DAG (generate -> shards -> fit -> report)",
+    )
+    p.add_argument("config",
+                   help="YAML/JSON orchestration config (see "
+                        "examples/orchestrator_quick.yaml)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue a journaled run: completed stages are "
+                        "skipped, an interrupted stage re-runs against "
+                        "the record cache")
+    p.add_argument("--shard",
+                   help="run only shard i of N as 'i/N' (zero-based; N "
+                        "must match the config); generate runs first if "
+                        "needed, fit/report stay blocked")
+    p.add_argument("--status", action="store_true",
+                   help="print the journaled stage table (incl. exact "
+                        "[fail] scenario lines) and exit without running "
+                        "anything")
+    p.set_defaults(func=cmd_orchestrate)
 
     from repro.serving.server import DEFAULT_HOST, DEFAULT_PORT
     from repro.serving.store import DEFAULT_HOT_SET

@@ -1,0 +1,343 @@
+"""Declarative sweep-orchestration configs: one checked-in file per fleet run.
+
+A config is YAML or JSON (by file suffix) and names the whole run::
+
+    # examples/orchestrator_quick.yaml
+    preset: quick              # or matrix: {families: [...], sizes: [...]}
+    shards: 2                  # scenario-hash partitions (hash % N == i)
+    workers: 1                 # worker processes per shard stage
+    budget: 64                 # optional cap on expanded scenarios
+    records_dir: results/orchestrator/records
+    state_dir: results/orchestrator/state
+    results: results/orchestrator/RESULTS.md   # default <state_dir>/RESULTS.md
+    json: results/orchestrator/REPORT.json     # default <state_dir>/REPORT.json
+
+Parsing is strict: unknown keys, a missing matrix, a non-positive shard
+count, or a matrix that expands beyond ``budget`` raise
+:class:`ConfigError` naming the file and the problem.  YAML needs no
+third-party dependency — :mod:`yaml` is used when installed, otherwise a
+built-in parser covers the declarative subset these configs use (nested
+mappings, ``[a, b]`` inline lists, ``- item`` block lists, scalars,
+comments).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.sweep_report import report_matrix
+from repro.experiments.spec import ScenarioMatrix, ScenarioSpec
+from repro.orchestrator.state import plan_fingerprint
+
+
+class ConfigError(ValueError):
+    """An orchestrator config file is missing, malformed, or invalid."""
+
+
+# ----------------------------------------------------------------------
+# Minimal YAML subset (used when pyyaml is not installed)
+# ----------------------------------------------------------------------
+
+def _strip_comment(line: str) -> str:
+    """Cut an unquoted ``#`` comment off one line."""
+    quote = None
+    for i, ch in enumerate(line):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "#" and (i == 0 or line[i - 1] in " \t"):
+            return line[:i]
+    return line
+
+
+def _scalar(token: str) -> object:
+    token = token.strip()
+    if token in ("", "~", "null"):
+        return None
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in "'\"":
+        return token[1:-1]
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        return [] if not inner else [_scalar(t) for t in inner.split(",")]
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            pass
+    return token
+
+
+def _parse_block(
+    lines: List[Tuple[int, int, str]], pos: int, indent: int
+) -> Tuple[object, int]:
+    """Parse one mapping or list block starting at ``lines[pos]``."""
+    is_list = lines[pos][2].startswith("- ") or lines[pos][2] == "-"
+    mapping: Dict[str, object] = {}
+    items: List[object] = []
+    while pos < len(lines):
+        lineno, line_indent, text = lines[pos]
+        if line_indent < indent:
+            break
+        if line_indent > indent:
+            raise ConfigError(f"line {lineno}: unexpected indentation")
+        if is_list:
+            if not (text.startswith("- ") or text == "-"):
+                break
+            items.append(_scalar(text[1:].strip()))
+            pos += 1
+            continue
+        if ":" not in text:
+            raise ConfigError(f"line {lineno}: expected 'key: value'")
+        key, _, rest = text.partition(":")
+        key, rest = key.strip(), rest.strip()
+        pos += 1
+        if rest:
+            mapping[key] = _scalar(rest)
+        elif pos < len(lines) and lines[pos][1] > indent:
+            mapping[key], pos = _parse_block(lines, pos, lines[pos][1])
+        else:
+            mapping[key] = None
+    return (items if is_list else mapping), pos
+
+
+def _mini_yaml_load(text: str) -> object:
+    """Parse the declarative YAML subset orchestrator configs use."""
+    lines: List[Tuple[int, int, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        if "\t" in raw:
+            raise ConfigError(f"line {lineno}: tabs are not allowed in YAML")
+        stripped = _strip_comment(raw).rstrip()
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip(" "))
+        lines.append((lineno, indent, stripped.strip()))
+    if not lines:
+        return {}
+    value, pos = _parse_block(lines, 0, lines[0][1])
+    if pos != len(lines):
+        raise ConfigError(
+            f"line {lines[pos][0]}: content outside the top-level block"
+        )
+    return value
+
+
+def load_config(path: object) -> dict:
+    """Read one YAML/JSON config file into a plain mapping."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ConfigError(f"config not found: {path}")
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ConfigError(f"unreadable config {path}: {exc}") from exc
+    if path.suffix == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"malformed JSON in {path}: {exc}") from exc
+    elif path.suffix in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError:
+            data = _mini_yaml_load(text)
+        else:
+            try:
+                data = yaml.safe_load(text)
+            except yaml.YAMLError as exc:
+                raise ConfigError(
+                    f"malformed YAML in {path}: {exc}"
+                ) from exc
+    else:
+        raise ConfigError(
+            f"config {path} must be .yaml, .yml, or .json"
+        )
+    if data is None:
+        data = {}
+    if not isinstance(data, dict):
+        raise ConfigError(
+            f"config {path} must be a mapping at the top level, got "
+            f"{type(data).__name__}"
+        )
+    return data
+
+
+# ----------------------------------------------------------------------
+# The validated plan
+# ----------------------------------------------------------------------
+
+#: matrix axes a ``matrix:`` block may set (ScenarioMatrix fields)
+MATRIX_KEYS = (
+    "families", "sizes", "algorithms", "seeds", "weights", "h_exponents",
+    "blockers", "deliveries", "faults", "fault_seeds", "strict", "compress",
+)
+
+#: every legal top-level config key
+CONFIG_KEYS = (
+    "preset", "matrix", "shards", "workers", "budget", "verify",
+    "records_dir", "state_dir", "results", "json",
+)
+
+
+@dataclass(frozen=True)
+class OrchestratorPlan:
+    """One validated fleet run: the matrix, the sharding, the outputs.
+
+    Built by :func:`load_plan` from a config file; everything the run
+    needs is explicit here, and :meth:`fingerprint` hashes the
+    run-defining parts (scenario hashes, shard count, record dir,
+    verify) so a resume against a journal from a *different* plan is
+    refused instead of silently mixing runs.
+    """
+
+    matrix: ScenarioMatrix
+    shards: int
+    workers: int
+    budget: Optional[int]
+    verify: bool
+    records_dir: str
+    state_dir: str
+    results_path: str
+    json_path: str
+    source: str = ""
+    preset: Optional[str] = None
+
+    def specs(self) -> List[ScenarioSpec]:
+        """Expand the matrix, enforcing the scenario budget."""
+        specs = self.matrix.expand()
+        if self.budget is not None and len(specs) > self.budget:
+            raise ConfigError(
+                f"{self.source or 'plan'}: matrix expands to {len(specs)} "
+                f"scenarios, over the budget of {self.budget}; raise "
+                f"'budget' or shrink the axes"
+            )
+        return specs
+
+    @property
+    def journal_path(self) -> pathlib.Path:
+        return pathlib.Path(self.state_dir) / "journal.jsonl"
+
+    def fingerprint(self) -> str:
+        """Hash of the run-defining plan parts (see class docstring)."""
+        return plan_fingerprint({
+            "scenario_hashes": sorted(s.key for s in self.matrix.expand()),
+            "shards": self.shards,
+            "records_dir": self.records_dir,
+            "verify": self.verify,
+        })
+
+
+def _require_int(data: dict, key: str, source: str, default: int,
+                 minimum: int = 1) -> int:
+    value = data.get(key, default)
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value < minimum:
+        raise ConfigError(
+            f"{source}: '{key}' must be an integer >= {minimum}, got "
+            f"{value!r}"
+        )
+    return value
+
+
+def _build_matrix(data: dict, source: str) -> Tuple[ScenarioMatrix,
+                                                    Optional[str]]:
+    preset = data.get("preset")
+    matrix_axes = data.get("matrix")
+    if (preset is None) == (matrix_axes is None):
+        raise ConfigError(
+            f"{source}: exactly one of 'preset' or 'matrix' must be set"
+        )
+    if preset is not None:
+        try:
+            return report_matrix(preset), preset
+        except ValueError as exc:
+            raise ConfigError(f"{source}: {exc}") from exc
+    if not isinstance(matrix_axes, dict):
+        raise ConfigError(
+            f"{source}: 'matrix' must be a mapping of scenario axes"
+        )
+    unknown = sorted(set(matrix_axes) - set(MATRIX_KEYS))
+    if unknown:
+        raise ConfigError(
+            f"{source}: unknown matrix axes {unknown}; known axes: "
+            f"{', '.join(MATRIX_KEYS)}"
+        )
+    try:
+        matrix = ScenarioMatrix(**matrix_axes)
+        matrix.expand()  # surface bad axis values at load time
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"{source}: invalid matrix: {exc}") from exc
+    return matrix, None
+
+
+def plan_from_dict(data: dict, source: str = "config") -> OrchestratorPlan:
+    """Validate a raw config mapping into an :class:`OrchestratorPlan`."""
+    unknown = sorted(set(data) - set(CONFIG_KEYS))
+    if unknown:
+        raise ConfigError(
+            f"{source}: unknown config keys {unknown}; known keys: "
+            f"{', '.join(CONFIG_KEYS)}"
+        )
+    matrix, preset = _build_matrix(data, source)
+    shards = _require_int(data, "shards", source, default=1)
+    workers = _require_int(data, "workers", source, default=1)
+    budget = None
+    if data.get("budget") is not None:
+        budget = _require_int(data, "budget", source, default=1)
+    verify = data.get("verify", True)
+    if not isinstance(verify, bool):
+        raise ConfigError(
+            f"{source}: 'verify' must be true or false, got {verify!r}"
+        )
+    for key in ("records_dir", "state_dir"):
+        if not isinstance(data.get(key), str) or not data[key]:
+            raise ConfigError(
+                f"{source}: '{key}' is required and must be a path string"
+            )
+    state_dir = data["state_dir"]
+    for key in ("results", "json"):
+        if key in data and (not isinstance(data[key], str) or not data[key]):
+            raise ConfigError(
+                f"{source}: '{key}' must be a path string when given"
+            )
+    plan = OrchestratorPlan(
+        matrix=matrix,
+        shards=shards,
+        workers=workers,
+        budget=budget,
+        verify=verify,
+        records_dir=data["records_dir"],
+        state_dir=state_dir,
+        results_path=data.get(
+            "results", str(pathlib.Path(state_dir) / "RESULTS.md")),
+        json_path=data.get(
+            "json", str(pathlib.Path(state_dir) / "REPORT.json")),
+        source=source,
+        preset=preset,
+    )
+    plan.specs()  # enforce the budget at load time, not mid-run
+    return plan
+
+
+def load_plan(path: object) -> OrchestratorPlan:
+    """Load and validate one config file into an :class:`OrchestratorPlan`."""
+    return plan_from_dict(load_config(path), source=str(path))
+
+
+__all__ = [
+    "CONFIG_KEYS",
+    "MATRIX_KEYS",
+    "ConfigError",
+    "OrchestratorPlan",
+    "load_config",
+    "load_plan",
+    "plan_from_dict",
+]

@@ -1,0 +1,254 @@
+"""The orchestration stage graph: explicit status, dependency unblocking.
+
+A :class:`StageGraph` holds named :class:`Stage` nodes with explicit
+dependencies and one of six statuses::
+
+    not_started -> running -> completed_success
+       ^    |                 completed_partial
+       |    v                 failed
+     blocked
+
+Transitions between the waiting statuses are *dependency-driven*
+(:meth:`StageGraph.refresh`): a stage whose dependencies are not all
+terminal is ``blocked``; the moment every dependency completes —
+``completed_success`` *or* ``completed_partial``, partial completion
+still unblocks dependents — it returns to ``not_started`` and becomes
+selectable.  A failed dependency can never be satisfied, so refresh
+propagates ``failed`` to every transitive dependent (with a detail
+naming the failed dependency) instead of leaving the run hung on a
+stage that will never unblock.
+
+The sweep orchestration itself is one fixed shape
+(:func:`build_sweep_graph`)::
+
+    generate -> shard-0 .. shard-(N-1) -> fit -> report
+
+but the graph machinery is generic — the property tests drive random
+DAGs through the same refresh/select loop the orchestrator uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+NOT_STARTED = "not_started"
+BLOCKED = "blocked"
+RUNNING = "running"
+COMPLETED_SUCCESS = "completed_success"
+COMPLETED_PARTIAL = "completed_partial"
+FAILED = "failed"
+
+#: every legal stage status, in lifecycle order
+STATUSES = (
+    NOT_STARTED, BLOCKED, RUNNING, COMPLETED_SUCCESS, COMPLETED_PARTIAL,
+    FAILED,
+)
+
+#: statuses a stage never leaves
+TERMINAL = frozenset({COMPLETED_SUCCESS, COMPLETED_PARTIAL, FAILED})
+
+#: terminal statuses that satisfy a dependent (partial still unblocks)
+COMPLETED = frozenset({COMPLETED_SUCCESS, COMPLETED_PARTIAL})
+
+
+class StageGraphError(ValueError):
+    """The stage graph is malformed (duplicate/unknown deps, a cycle)."""
+
+
+@dataclass
+class Stage:
+    """One orchestration stage: a name, its dependencies, and its status.
+
+    ``detail`` is the human-readable one-liner behind the current status
+    (what ran, or why it failed); ``failures`` carries the exact
+    per-scenario ``[fail] <key> <label>: <error>`` lines for sweep
+    stages so status output can name the failing scenario keys.
+    """
+
+    name: str
+    deps: Tuple[str, ...] = ()
+    status: str = NOT_STARTED
+    detail: str = ""
+    failures: Tuple[str, ...] = field(default_factory=tuple)
+
+
+class StageGraph:
+    """A validated DAG of :class:`Stage` nodes with status bookkeeping."""
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        self._stages: Dict[str, Stage] = {}
+        for stage in stages:
+            if stage.name in self._stages:
+                raise StageGraphError(f"duplicate stage name {stage.name!r}")
+            self._stages[stage.name] = stage
+        for stage in stages:
+            for dep in stage.deps:
+                if dep not in self._stages:
+                    raise StageGraphError(
+                        f"stage {stage.name!r} depends on unknown stage "
+                        f"{dep!r}"
+                    )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        remaining = {name: set(s.deps) for name, s in self._stages.items()}
+        while remaining:
+            free = [name for name, deps in remaining.items() if not deps]
+            if not free:
+                cycle = ", ".join(sorted(remaining))
+                raise StageGraphError(
+                    f"stage graph has a dependency cycle among: {cycle}"
+                )
+            for name in free:
+                del remaining[name]
+            for deps in remaining.values():
+                deps.difference_update(free)
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> Stage:
+        try:
+            return self._stages[name]
+        except KeyError:
+            raise StageGraphError(f"unknown stage {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stages
+
+    @property
+    def stages(self) -> List[Stage]:
+        """Stages in declaration order (the selection priority order)."""
+        return list(self._stages.values())
+
+    def mark(
+        self,
+        name: str,
+        status: str,
+        detail: str = "",
+        failures: Iterable[str] = (),
+    ) -> Stage:
+        """Set one stage's status (and detail/failure lines)."""
+        if status not in STATUSES:
+            raise StageGraphError(f"unknown stage status {status!r}")
+        stage = self[name]
+        stage.status = status
+        stage.detail = detail
+        stage.failures = tuple(failures)
+        return stage
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> List[Tuple[str, str, str]]:
+        """Drive every dependency-determined transition; return them.
+
+        For each stage still waiting (``not_started`` / ``blocked``):
+
+        * any dependency ``failed`` -> the stage can never run; it is
+          marked ``failed`` with a detail naming the dependency;
+        * all dependencies completed (success or partial) -> the stage
+          is ``not_started`` (unblocked: dependencies now satisfied);
+        * otherwise -> ``blocked``.
+
+        Iterates to a fixed point so failure propagates transitively in
+        one call.  Returns ``(stage, old_status, new_status)`` for every
+        transition made.
+        """
+        transitions: List[Tuple[str, str, str]] = []
+        changed = True
+        while changed:
+            changed = False
+            for stage in self._stages.values():
+                if stage.status not in (NOT_STARTED, BLOCKED):
+                    continue
+                dep_status = [self[d].status for d in stage.deps]
+                failed_deps = [d for d in stage.deps
+                               if self[d].status == FAILED]
+                if failed_deps:
+                    new = FAILED
+                    detail = (
+                        f"unblockable: dependency "
+                        f"{', '.join(failed_deps)} failed"
+                    )
+                elif all(s in COMPLETED for s in dep_status):
+                    new = NOT_STARTED
+                    detail = ("unblocked: dependencies now satisfied"
+                              if stage.status == BLOCKED else stage.detail)
+                else:
+                    new = BLOCKED
+                    waiting = [d for d, s in zip(stage.deps, dep_status)
+                               if s not in COMPLETED]
+                    detail = f"waiting on: {', '.join(waiting)}"
+                if new != stage.status:
+                    transitions.append((stage.name, stage.status, new))
+                    stage.status = new
+                    stage.detail = detail
+                    changed = True
+                elif new == BLOCKED:
+                    stage.detail = detail  # the waiting list may shrink
+        return transitions
+
+    def select_next(
+        self, allowed: Optional[Iterable[str]] = None
+    ) -> Optional[Stage]:
+        """First selectable stage in declaration order, or ``None``.
+
+        Call :meth:`refresh` first: selectable means ``not_started``
+        after the dependency-driven transitions have run.  ``allowed``
+        restricts selection to a subset of stage names (the ``--shard
+        i/N`` mode runs only ``generate`` and its own shard stage).
+        """
+        allow = None if allowed is None else set(allowed)
+        for stage in self._stages.values():
+            if stage.status != NOT_STARTED:
+                continue
+            if allow is not None and stage.name not in allow:
+                continue
+            return stage
+        return None
+
+    def done(self) -> bool:
+        """True when every stage is terminal."""
+        return all(s.status in TERMINAL for s in self._stages.values())
+
+
+# ----------------------------------------------------------------------
+GENERATE = "generate"
+FIT = "fit"
+REPORT = "report"
+
+
+def shard_stage(index: int) -> str:
+    """The stage name owning shard ``index`` (``shard-<i>``)."""
+    return f"shard-{index}"
+
+
+def build_sweep_graph(n_shards: int) -> StageGraph:
+    """The orchestration DAG: generate -> shards -> fit -> report."""
+    if n_shards < 1:
+        raise StageGraphError(f"shard count must be >= 1, got {n_shards}")
+    shard_names = [shard_stage(i) for i in range(n_shards)]
+    stages = [Stage(GENERATE)]
+    stages += [Stage(name, deps=(GENERATE,)) for name in shard_names]
+    stages.append(Stage(FIT, deps=tuple(shard_names)))
+    stages.append(Stage(REPORT, deps=(FIT,)))
+    return StageGraph(stages)
+
+
+__all__ = [
+    "BLOCKED",
+    "COMPLETED",
+    "COMPLETED_PARTIAL",
+    "COMPLETED_SUCCESS",
+    "FAILED",
+    "FIT",
+    "GENERATE",
+    "NOT_STARTED",
+    "REPORT",
+    "RUNNING",
+    "STATUSES",
+    "TERMINAL",
+    "Stage",
+    "StageGraph",
+    "StageGraphError",
+    "build_sweep_graph",
+    "shard_stage",
+]

@@ -1,0 +1,262 @@
+"""The orchestrator driver: execute the stage DAG, journal every step.
+
+:func:`drive` is the generic scheduling loop — refresh the graph's
+dependency-driven transitions, select the next runnable stage, execute
+it, journal the outcome — and :class:`Orchestrator` binds it to the
+sweep shape: ``generate`` expands and budget-checks the matrix,
+``shard-i`` runs its hash-owned scenarios through a cached
+:class:`~repro.experiments.executor.SweepExecutor` (a rerun retries
+only its cache misses), ``fit`` merges and fits the shared record
+directory, and ``report`` writes the same ``RESULTS.md`` /
+``REPORT.json`` a monolithic ``repro sweep`` + ``repro report`` run
+would (byte-identical outside the wall-clock ``timing`` section).
+
+A shard that raises :class:`~repro.experiments.executor.SweepError`
+with salvaged records completes ``completed_partial`` — its failures
+are journaled as exact ``[fail] <key> <label>: <error>`` lines — and
+still unblocks ``fit``; a shard that salvaged nothing fails, and
+failure propagates to its dependents instead of hanging the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.experiments.executor import SweepError, SweepExecutor
+from repro.orchestrator.config import ConfigError, OrchestratorPlan
+from repro.orchestrator.dag import (
+    COMPLETED_PARTIAL,
+    COMPLETED_SUCCESS,
+    FAILED,
+    FIT,
+    GENERATE,
+    REPORT,
+    RUNNING,
+    Stage,
+    StageGraph,
+    build_sweep_graph,
+    shard_stage,
+)
+from repro.orchestrator.shards import shard_specs
+from repro.orchestrator.state import Journal, StateError, replay
+
+#: stage execution outcome: (status, detail, per-scenario failure lines)
+Outcome = Tuple[str, str, List[str]]
+
+
+def drive(
+    graph: StageGraph,
+    execute: Callable[[Stage], Outcome],
+    journal: Optional[Journal] = None,
+    allowed: Optional[Iterable[str]] = None,
+) -> StageGraph:
+    """Run the refresh/select/execute loop until nothing is runnable.
+
+    ``execute(stage)`` returns the stage's terminal ``(status, detail,
+    failure_lines)``; an exception it raises (other than
+    ``KeyboardInterrupt``/``SystemExit``, which propagate — that is the
+    crash path the journal exists for) marks the stage ``failed``.
+    Every ``running`` mark and terminal outcome is journaled before and
+    after execution, as are refresh-propagated failures, so a kill at
+    any point resumes correctly.  ``allowed`` restricts which stages may
+    be selected (single-shard mode); the rest stay ``blocked``.
+    """
+    allow = None if allowed is None else set(allowed)
+    while True:
+        for name, _old, new in graph.refresh():
+            if journal is not None and new == FAILED:
+                stage = graph[name]
+                journal.record_stage(name, FAILED, detail=stage.detail)
+        stage = graph.select_next(allow)
+        if stage is None:
+            return graph
+        graph.mark(stage.name, RUNNING, detail="running")
+        if journal is not None:
+            journal.record_stage(stage.name, RUNNING)
+        try:
+            status, detail, failures = execute(stage)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            status = FAILED
+            detail = f"{type(exc).__name__}: {exc}".strip(": ")
+            failures = []
+        graph.mark(stage.name, status, detail=detail, failures=failures)
+        if journal is not None:
+            journal.record_stage(stage.name, status, detail=detail,
+                                 failures=failures)
+
+
+class Orchestrator:
+    """Bind one :class:`OrchestratorPlan` to the sweep stage DAG.
+
+    ``runner`` is the per-scenario entry point handed to every shard's
+    :class:`~repro.experiments.executor.SweepExecutor` (tests substitute
+    crashing runners to exercise salvage and resume); ``echo`` receives
+    progress lines.
+    """
+
+    def __init__(
+        self,
+        plan: OrchestratorPlan,
+        resume: bool = False,
+        echo: Optional[Callable[[str], None]] = None,
+        runner: Optional[Callable[[dict, bool], dict]] = None,
+    ) -> None:
+        self.plan = plan
+        self.resume = resume
+        self.echo = echo or (lambda line: None)
+        self.runner = runner
+        self._report_payload: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    def load_graph(self) -> StageGraph:
+        """The stage graph with any journaled progress replayed onto it.
+
+        Purely observational (``--status`` uses it): no journal is
+        created and interrupted stages are reset in-memory only.
+        """
+        graph = build_sweep_graph(self.plan.shards)
+        journal = Journal(self.plan.journal_path)
+        if journal.exists():
+            replay(journal, graph)
+        graph.refresh()
+        return graph
+
+    def run(self, only_shard: Optional[int] = None) -> StageGraph:
+        """Execute (or resume) the orchestration; return the final graph."""
+        if only_shard is not None and not 0 <= only_shard < self.plan.shards:
+            raise ConfigError(
+                f"shard index {only_shard} out of range for "
+                f"{self.plan.shards} shard(s)"
+            )
+        journal = Journal(self.plan.journal_path)
+        fingerprint = self.plan.fingerprint()
+        graph = build_sweep_graph(self.plan.shards)
+        if journal.exists():
+            if not self.resume:
+                raise StateError(
+                    f"state dir already has a journal "
+                    f"({journal.path}); pass --resume to continue that run, "
+                    f"or point state_dir somewhere fresh"
+                )
+            journal.check_plan(fingerprint)
+            for name in replay(journal, graph):
+                journal.record_stage(
+                    name, "not_started",
+                    detail="reset: interrupted mid-stage (crash recovery)")
+                self.echo(f"[{name}] interrupted mid-stage; will re-run "
+                          f"(cached records are reused)")
+        else:
+            journal.open_run(fingerprint)
+        allowed = None
+        if only_shard is not None:
+            allowed = {GENERATE, shard_stage(only_shard)}
+        drive(graph, self._execute, journal=journal, allowed=allowed)
+        return graph
+
+    # ------------------------------------------------------------------
+    def _execute(self, stage: Stage) -> Outcome:
+        self.echo(f"[{stage.name}] running")
+        if stage.name == GENERATE:
+            outcome = self._run_generate()
+        elif stage.name == FIT:
+            outcome = self._run_fit()
+        elif stage.name == REPORT:
+            outcome = self._run_report()
+        else:
+            outcome = self._run_shard(int(stage.name.split("-", 1)[1]))
+        status, detail, _failures = outcome
+        self.echo(f"[{stage.name}] {status}: {detail}")
+        return outcome
+
+    def _run_generate(self) -> Outcome:
+        from repro.analysis.sweep_report import write_json
+
+        specs = self.plan.specs()  # enforces the budget
+        shards = shard_specs(specs, self.plan.shards)
+        write_json(pathlib.Path(self.plan.state_dir) / "plan.json", {
+            "fingerprint": self.plan.fingerprint(),
+            "preset": self.plan.preset,
+            "scenarios": len(specs),
+            "shards": self.plan.shards,
+            "shard_sizes": [len(s) for s in shards],
+            "shard_owners": {s.key: i for i, shard in enumerate(shards)
+                             for s in shard},
+        })
+        sizes = "/".join(str(len(s)) for s in shards)
+        return (COMPLETED_SUCCESS,
+                f"{len(specs)} scenario(s) over {self.plan.shards} shard(s) "
+                f"({sizes})", [])
+
+    def _run_shard(self, index: int) -> Outcome:
+        specs = shard_specs(self.plan.specs(), self.plan.shards)[index]
+        executor = SweepExecutor(
+            cache_dir=self.plan.records_dir,
+            workers=self.plan.workers,
+            verify=self.plan.verify,
+            runner=self.runner,
+        )
+
+        def progress(spec, was_cached):
+            self.echo(f"  [{'cache' if was_cached else 'run'}] {spec.key} "
+                      f"{spec.label}")
+
+        try:
+            executor.run(specs, progress=progress)
+        except SweepError as exc:
+            salvaged = sum(r is not None for r in exc.records)
+            failures = [f"[fail] {f.spec.key} {f.spec.label}: {f.error}"
+                        for f in exc.failures]
+            detail = (f"{len(exc.failures)} of {len(specs)} scenario(s) "
+                      f"failed; {salvaged} completed record(s) kept")
+            if salvaged:
+                return COMPLETED_PARTIAL, detail, failures
+            return FAILED, detail, failures
+        return (COMPLETED_SUCCESS,
+                f"{len(specs)} scenario(s) ({executor.executed} executed, "
+                f"{executor.cached} from cache)", [])
+
+    def _run_fit(self) -> Outcome:
+        from repro.analysis.sweep_report import (
+            RecordError,
+            build_report,
+            fit_groups,
+            load_records,
+        )
+
+        try:
+            records = load_records([self.plan.records_dir])
+        except RecordError as exc:
+            return FAILED, str(exc), []
+        if not records:
+            return (FAILED,
+                    f"no usable records under {self.plan.records_dir}", [])
+        fits = fit_groups(records)
+        self._report_payload = build_report(records, fits=fits)
+        return (COMPLETED_SUCCESS,
+                f"{len(records)} record(s), {len(fits)} family group(s) "
+                f"fitted", [])
+
+    def _run_report(self) -> Outcome:
+        from repro.analysis.sweep_report import (
+            build_report,
+            load_records,
+            write_report,
+        )
+
+        payload = self._report_payload
+        if payload is None:
+            # Resume path: fit completed in a previous process, so
+            # rebuild the (pure-function) payload from the records
+            # without re-running the fit *stage*.
+            payload = build_report(load_records([self.plan.records_dir]))
+        write_report(payload, results_path=self.plan.results_path,
+                     json_path=self.plan.json_path)
+        return (COMPLETED_SUCCESS,
+                f"wrote {self.plan.results_path} and {self.plan.json_path} "
+                f"({payload['scenarios']} scenario(s))", [])
+
+
+__all__ = ["Orchestrator", "Outcome", "drive"]

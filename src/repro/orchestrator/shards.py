@@ -1,0 +1,72 @@
+"""Deterministic scenario-hash sharding of an expanded matrix.
+
+Shard ``i`` of ``N`` owns exactly the scenarios whose hash satisfies
+``int(hash, 16) % N == i``.  The assignment is a pure function of the
+scenario hash (which is itself a pure function of the spec), so any
+host — or any rerun — recomputes the same partition from the config
+alone: no shard manifest needs to be shipped around, and a shard rerun
+finds its own completed scenarios already sitting in the shared
+per-record JSON cache and retries only its misses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.experiments.spec import ScenarioSpec
+
+
+def shard_index(spec: ScenarioSpec, n_shards: int) -> int:
+    """Which shard of ``n_shards`` owns ``spec`` (hash-prefix modulus)."""
+    if n_shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {n_shards}")
+    return int(spec.key, 16) % n_shards
+
+
+def shard_specs(
+    specs: Sequence[ScenarioSpec], n_shards: int
+) -> List[List[ScenarioSpec]]:
+    """Partition ``specs`` into ``n_shards`` hash-owned lists.
+
+    Every spec lands in exactly one shard (``shard_index``), and each
+    shard preserves the input (matrix-expansion) order, so the union of
+    all shards is a stable permutation of the input.
+    """
+    shards: List[List[ScenarioSpec]] = [[] for _ in range(n_shards)]
+    for spec in specs:
+        shards[shard_index(spec, n_shards)].append(spec)
+    return shards
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a CLI ``i/N`` shard selector into ``(index, count)``.
+
+    ``i`` is zero-based and must satisfy ``0 <= i < N``; anything else —
+    wrong separator, non-integers, a negative index, ``i >= N`` — raises
+    a :class:`ValueError` that names the offending spec so the CLI error
+    is self-explanatory.
+    """
+    parts = text.split("/")
+    if len(parts) != 2:
+        raise ValueError(
+            f"invalid shard spec {text!r}: expected the form i/N, e.g. 0/2"
+        )
+    try:
+        index, count = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError(
+            f"invalid shard spec {text!r}: both i and N must be integers"
+        ) from None
+    if count < 1:
+        raise ValueError(
+            f"invalid shard spec {text!r}: shard count N must be >= 1"
+        )
+    if not 0 <= index < count:
+        raise ValueError(
+            f"invalid shard spec {text!r}: shard index must satisfy "
+            f"0 <= i < {count} (indices are zero-based)"
+        )
+    return index, count
+
+
+__all__ = ["parse_shard", "shard_index", "shard_specs"]

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.congest",
     "repro.csssp",
     "repro.graphs",
+    "repro.orchestrator",
     "repro.pipeline",
     "repro.primitives",
     "repro.serving",

@@ -1,0 +1,175 @@
+"""The orchestration stage graph: statuses, unblocking, propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestrator.dag import (
+    BLOCKED,
+    COMPLETED_PARTIAL,
+    COMPLETED_SUCCESS,
+    FAILED,
+    NOT_STARTED,
+    RUNNING,
+    Stage,
+    StageGraph,
+    StageGraphError,
+    build_sweep_graph,
+    shard_stage,
+)
+
+
+def two_stage_graph(first_status: str) -> StageGraph:
+    graph = StageGraph([
+        Stage("stage0"),
+        Stage("stage1", deps=("stage0",)),
+    ])
+    graph.mark("stage0", first_status)
+    return graph
+
+
+class TestBlockedStageHandling:
+    def test_unblocks_stage_when_deps_satisfied(self):
+        graph = two_stage_graph(COMPLETED_SUCCESS)
+        graph.mark("stage1", BLOCKED)
+        transitions = graph.refresh()
+        assert ("stage1", BLOCKED, NOT_STARTED) in transitions
+        stage = graph["stage1"]
+        assert stage.status == NOT_STARTED
+        assert stage.detail == "unblocked: dependencies now satisfied"
+        assert graph.select_next().name == "stage1"
+
+    def test_unblocks_stage_with_partial_completion(self):
+        # completed_partial satisfies a dependent exactly like success: a
+        # shard that salvaged records must still unblock fit.
+        graph = two_stage_graph(COMPLETED_PARTIAL)
+        graph.mark("stage1", BLOCKED)
+        graph.refresh()
+        assert graph["stage1"].status == NOT_STARTED
+
+    def test_blocks_stage_with_incomplete_deps(self):
+        for status in (NOT_STARTED, BLOCKED, RUNNING):
+            graph = two_stage_graph(status)
+            graph.refresh()
+            stage = graph["stage1"]
+            assert stage.status == BLOCKED
+            assert stage.detail == "waiting on: stage0"
+
+    def test_blocked_detail_tracks_remaining_deps(self):
+        graph = StageGraph([
+            Stage("a"), Stage("b"), Stage("c", deps=("a", "b")),
+        ])
+        graph.refresh()
+        assert graph["c"].detail == "waiting on: a, b"
+        graph.mark("a", COMPLETED_SUCCESS)
+        graph.refresh()
+        assert graph["c"].status == BLOCKED
+        assert graph["c"].detail == "waiting on: b"
+
+    def test_failed_dep_propagates_transitively(self):
+        graph = StageGraph([
+            Stage("a"),
+            Stage("b", deps=("a",)),
+            Stage("c", deps=("b",)),
+        ])
+        graph.mark("a", FAILED, detail="boom")
+        graph.refresh()  # one call reaches the fixed point
+        assert graph["b"].status == FAILED
+        assert "dependency a failed" in graph["b"].detail
+        assert graph["c"].status == FAILED
+        assert "dependency b failed" in graph["c"].detail
+        assert graph.select_next() is None
+        assert graph.done()
+
+
+class TestSelection:
+    def test_selects_first_available_in_declaration_order(self):
+        graph = StageGraph([Stage("s0"), Stage("s1"), Stage("s2")])
+        graph.refresh()
+        assert graph.select_next().name == "s0"
+        graph.mark("s0", RUNNING)
+        assert graph.select_next().name == "s1"
+
+    def test_allowed_restricts_selection(self):
+        graph = StageGraph([Stage("s0"), Stage("s1")])
+        graph.refresh()
+        assert graph.select_next(allowed={"s1"}).name == "s1"
+        assert graph.select_next(allowed={"nope"}) is None
+
+    def test_running_and_terminal_stages_not_selected(self):
+        graph = StageGraph([Stage("s0")])
+        for status in (RUNNING, COMPLETED_SUCCESS, COMPLETED_PARTIAL, FAILED):
+            graph.mark("s0", status)
+            assert graph.select_next() is None
+
+
+class TestGraphValidation:
+    def test_duplicate_stage_rejected(self):
+        with pytest.raises(StageGraphError, match="duplicate stage"):
+            StageGraph([Stage("s"), Stage("s")])
+
+    def test_unknown_dep_rejected(self):
+        with pytest.raises(StageGraphError, match="unknown stage 'ghost'"):
+            StageGraph([Stage("s", deps=("ghost",))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(StageGraphError, match="cycle"):
+            StageGraph([
+                Stage("a", deps=("b",)),
+                Stage("b", deps=("a",)),
+            ])
+
+    def test_unknown_status_rejected(self):
+        graph = StageGraph([Stage("s")])
+        with pytest.raises(StageGraphError, match="unknown stage status"):
+            graph.mark("s", "exploded")
+
+    def test_unknown_stage_lookup_rejected(self):
+        graph = StageGraph([Stage("s")])
+        with pytest.raises(StageGraphError, match="unknown stage"):
+            graph["ghost"]
+
+
+class TestSweepGraphShape:
+    @pytest.mark.parametrize("n_shards", [1, 2, 5])
+    def test_generate_shards_fit_report(self, n_shards):
+        graph = build_sweep_graph(n_shards)
+        names = [s.name for s in graph.stages]
+        shard_names = [shard_stage(i) for i in range(n_shards)]
+        assert names == ["generate"] + shard_names + ["fit", "report"]
+        for name in shard_names:
+            assert graph[name].deps == ("generate",)
+        assert graph["fit"].deps == tuple(shard_names)
+        assert graph["report"].deps == ("fit",)
+
+    def test_first_selectable_is_generate(self):
+        graph = build_sweep_graph(2)
+        graph.refresh()
+        assert graph.select_next().name == "generate"
+        # everything else waits on it
+        for stage in graph.stages[1:]:
+            assert stage.status == BLOCKED
+
+    def test_partial_shard_still_unblocks_fit(self):
+        graph = build_sweep_graph(2)
+        graph.refresh()
+        graph.mark("generate", COMPLETED_SUCCESS)
+        graph.mark(shard_stage(0), COMPLETED_PARTIAL)
+        graph.mark(shard_stage(1), COMPLETED_SUCCESS)
+        graph.refresh()
+        assert graph["fit"].status == NOT_STARTED
+
+    def test_failed_shard_fails_fit_and_report(self):
+        graph = build_sweep_graph(2)
+        graph.refresh()
+        graph.mark("generate", COMPLETED_SUCCESS)
+        graph.mark(shard_stage(0), FAILED)
+        graph.mark(shard_stage(1), COMPLETED_SUCCESS)
+        graph.refresh()
+        assert graph["fit"].status == FAILED
+        assert shard_stage(0) in graph["fit"].detail
+        assert graph["report"].status == FAILED
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(StageGraphError, match=">= 1"):
+            build_sweep_graph(0)

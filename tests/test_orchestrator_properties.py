@@ -1,0 +1,162 @@
+"""Property tests: scheduling and resume invariants on random DAGs.
+
+Hypothesis drives random stage graphs and random per-stage outcome
+schedules through the *real* orchestrator loop
+(:func:`repro.orchestrator.run.drive`) with a fake executor, pinning the
+contracts the sweep orchestration relies on:
+
+* a stage never starts before every dependency is terminal-completed;
+* every unblockable stage (all ancestors succeed or complete partial)
+  eventually runs, and stages with a failed ancestor never do — they
+  are marked failed by propagation instead of hanging;
+* resuming from the journal never re-executes a ``completed_success``
+  stage, at any crash point.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orchestrator.dag import (
+    COMPLETED,
+    COMPLETED_PARTIAL,
+    COMPLETED_SUCCESS,
+    FAILED,
+    NOT_STARTED,
+    TERMINAL,
+    Stage,
+    StageGraph,
+)
+from repro.orchestrator.run import drive
+from repro.orchestrator.state import Journal, replay
+
+OUTCOMES = (COMPLETED_SUCCESS, COMPLETED_PARTIAL, FAILED)
+
+
+@st.composite
+def dag_and_schedule(draw) -> Tuple[List[Stage], Dict[str, str]]:
+    """A random acyclic graph plus one terminal outcome per stage.
+
+    Dependencies only point at earlier stages, so the graph is acyclic
+    by construction while still covering diamonds, chains, and fan-outs.
+    """
+    n = draw(st.integers(min_value=1, max_value=8))
+    stages = []
+    for i in range(n):
+        dep_ids = draw(st.sets(st.integers(0, i - 1), max_size=3)) if i else set()
+        stages.append(Stage(f"s{i}", deps=tuple(f"s{j}" for j in sorted(dep_ids))))
+    schedule = {s.name: draw(st.sampled_from(OUTCOMES)) for s in stages}
+    return stages, schedule
+
+
+def unblockable(stages: List[Stage], schedule: Dict[str, str]) -> set:
+    """Stage names whose every ancestor's scheduled outcome completes."""
+    deps = {s.name: s.deps for s in stages}
+    result: set = set()
+    for stage in stages:  # ancestors precede dependents in list order
+        if all(d in result for d in deps[stage.name]):
+            if schedule[stage.name] in COMPLETED:
+                result.add(stage.name)
+    # ``result`` is "runs and completes"; a stage is *unblockable* when
+    # all its deps complete, whatever its own outcome.
+    return {s.name for s in stages
+            if all(d in result for d in deps[s.name])}
+
+
+@given(dag_and_schedule())
+@settings(max_examples=60, deadline=None)
+def test_deps_terminal_before_start_and_unblockable_stages_run(case):
+    stages, schedule = case
+    graph = StageGraph(stages)
+    ran: List[str] = []
+
+    def execute(stage):
+        # The loop invariant: at execution time every dependency is
+        # terminal, and completed (a failed dep must have failed this
+        # stage by propagation instead of running it).
+        for dep in stage.deps:
+            assert graph[dep].status in TERMINAL
+            assert graph[dep].status in COMPLETED
+        ran.append(stage.name)
+        return schedule[stage.name], f"scheduled {schedule[stage.name]}", []
+
+    drive(graph, execute)
+
+    should_run = unblockable(stages, schedule)
+    assert set(ran) == should_run
+    assert len(ran) == len(set(ran))  # nothing executes twice
+    for stage in graph.stages:
+        if stage.name in should_run:
+            assert stage.status == schedule[stage.name]
+        else:
+            # never ran; propagation marked it failed, naming a dep
+            assert stage.status == FAILED
+            assert "dependency" in stage.detail
+    assert graph.done()
+
+
+@given(case=dag_and_schedule(), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_resume_never_reexecutes_completed_stages(case, data):
+    stages, schedule = case
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Journal(f"{tmp}/journal.jsonl")
+        journal.open_run("fingerprint")
+        executions: Dict[str, int] = {}
+
+        crash_after = data.draw(
+            st.integers(0, len(stages)), label="crash_after")
+
+        class Crash(KeyboardInterrupt):
+            pass
+
+        def execute(stage):
+            executions[stage.name] = executions.get(stage.name, 0) + 1
+            if sum(executions.values()) > crash_after:
+                raise Crash()  # SIGKILL stand-in: nothing gets journaled
+            return schedule[stage.name], "", []
+
+        graph = StageGraph([Stage(s.name, deps=s.deps) for s in stages])
+        try:
+            drive(graph, execute, journal=journal)
+            crashed = False
+        except Crash:
+            crashed = True
+
+        completed_before = {
+            s.name for s in graph.stages if s.status == COMPLETED_SUCCESS
+        }
+
+        # --- the resumed process: fresh graph, replay, drive again ---
+        graph2 = StageGraph([Stage(s.name, deps=s.deps) for s in stages])
+        interrupted = replay(journal, graph2)
+        if crashed:
+            # the killed stage was journaled as running, then reset
+            assert len(interrupted) == 1
+            assert graph2[interrupted[0]].status == NOT_STARTED
+        rerun: List[str] = []
+
+        def execute_resumed(stage):
+            rerun.append(stage.name)
+            executions[stage.name] = executions.get(stage.name, 0) + 1
+            return schedule[stage.name], "", []
+
+        drive(graph2, execute_resumed, journal=journal)
+
+        # completed_success stages are never re-executed on resume
+        assert not (set(rerun) & completed_before)
+        for name, count in executions.items():
+            limit = 2 if crashed else 1  # only the killed stage re-runs
+            assert count <= limit
+        # and the resumed run still reaches the same final states
+        should_run = unblockable(stages, schedule)
+        for stage in graph2.stages:
+            if stage.name in should_run:
+                assert stage.status == schedule[stage.name]
+            else:
+                assert stage.status == FAILED
+        assert graph2.done()

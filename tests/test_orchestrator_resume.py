@@ -1,0 +1,203 @@
+"""Crash-resume differential: killed orchestration == monolithic sweep.
+
+The acceptance property of the orchestrator: kill a 2-shard
+orchestration mid-shard at arbitrary points, resume it, and the final
+``REPORT.json`` is byte-identical — excluding the wall-clock ``timing``
+section — to an uninterrupted single-process ``repro sweep`` + ``repro
+report`` over the same matrix (``RESULTS.md`` carries no timing at all,
+so it must match outright).
+
+Two crash mechanisms are exercised: an injected ``KeyboardInterrupt``
+inside the scenario runner (in-process, parametrized over injection
+points), and a real ``SIGKILL`` of a ``python -m repro orchestrate``
+subprocess mid-sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.analysis.sweep_report import (
+    build_report,
+    render_report_json,
+    strip_report_timing,
+    write_report,
+)
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.runner import run_scenario_dict
+from repro.orchestrator.config import plan_from_dict
+from repro.orchestrator.run import Orchestrator
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+MATRIX = {
+    "families": ["er", "path"],
+    "sizes": [10, 14],
+    "algorithms": ["naive-bf"],
+    "seeds": [1, 2],
+}
+
+
+def make_plan(tmp_path, **overrides):
+    data = {
+        "matrix": dict(MATRIX),
+        "shards": 2,
+        "workers": 1,
+        "records_dir": str(tmp_path / "records"),
+        "state_dir": str(tmp_path / "state"),
+    }
+    data.update(overrides)
+    return plan_from_dict(data)
+
+
+def monolithic_report(tmp_path, plan):
+    """The uninterrupted single-process baseline over the same matrix."""
+    mono = tmp_path / "mono"
+    executor = SweepExecutor(cache_dir=str(mono / "records"))
+    records = executor.run(plan.specs())
+    write_report(build_report(records),
+                 results_path=mono / "RESULTS.md",
+                 json_path=mono / "REPORT.json")
+    return mono / "RESULTS.md", mono / "REPORT.json"
+
+
+def assert_reports_match(orch_results, orch_json, mono_results, mono_json):
+    orch = json.loads(pathlib.Path(orch_json).read_text())
+    mono = json.loads(pathlib.Path(mono_json).read_text())
+    # byte-identical modulo the wall-clock timing section
+    assert render_report_json(strip_report_timing(orch)) == \
+        render_report_json(strip_report_timing(mono))
+    # RESULTS.md is fully deterministic: byte-equal outright
+    assert pathlib.Path(orch_results).read_bytes() == \
+        pathlib.Path(mono_results).read_bytes()
+
+
+class TestInjectedCrashResume:
+    @pytest.mark.parametrize("crash_after", [0, 1, 3])
+    def test_killed_mid_shard_then_resumed_matches_monolithic(
+            self, tmp_path, crash_after):
+        plan = make_plan(tmp_path)
+        calls = {"n": 0}
+
+        def crashing_runner(spec_dict, verify):
+            # SIGKILL stand-in: the interrupt escapes the executor's
+            # per-scenario Exception containment and aborts the process
+            # mid-shard, after `crash_after` records reached the cache.
+            if calls["n"] == crash_after:
+                raise KeyboardInterrupt
+            calls["n"] += 1
+            return run_scenario_dict(spec_dict, verify)
+
+        with pytest.raises(KeyboardInterrupt):
+            Orchestrator(plan, runner=crashing_runner).run()
+
+        records_dir = pathlib.Path(plan.records_dir)
+        salvaged = list(records_dir.glob("*.json")) if records_dir.exists() \
+            else []
+        assert len(salvaged) == crash_after  # completed records survived
+
+        # resume with the real runner: cached scenarios are served, the
+        # interrupted shard re-runs only its misses
+        graph = Orchestrator(plan, resume=True).run()
+        for stage in graph.stages:
+            assert stage.status == "completed_success", (
+                stage.name, stage.status, stage.detail)
+        executed = sum(1 for _ in records_dir.glob("*.json"))
+        assert executed == len(plan.specs())
+
+        mono_results, mono_json = monolithic_report(tmp_path, plan)
+        assert_reports_match(plan.results_path, plan.json_path,
+                             mono_results, mono_json)
+
+    def test_resume_serves_finished_shard_from_journal_not_cache(
+            self, tmp_path):
+        plan = make_plan(tmp_path)
+        specs = plan.specs()
+        # crash exactly between the shards: shard-0 fully journaled
+        from repro.orchestrator.shards import shard_specs
+        shard0 = len(shard_specs(specs, plan.shards)[0])
+        calls = {"n": 0}
+
+        def crashing_runner(spec_dict, verify):
+            if calls["n"] == shard0:
+                raise KeyboardInterrupt
+            calls["n"] += 1
+            return run_scenario_dict(spec_dict, verify)
+
+        with pytest.raises(KeyboardInterrupt):
+            Orchestrator(plan, runner=crashing_runner).run()
+
+        counted = {"n": 0}
+
+        def counting_runner(spec_dict, verify):
+            counted["n"] += 1
+            return run_scenario_dict(spec_dict, verify)
+
+        lines = []
+        graph = Orchestrator(plan, resume=True, echo=lines.append,
+                             runner=counting_runner).run()
+        assert graph.done()
+        # the completed shard-0 is not re-driven at all: its journal
+        # entry is terminal, so only shard-1's scenarios execute
+        assert counted["n"] == len(specs) - shard0
+        assert not any(line.startswith("[shard-0] running")
+                       for line in lines)
+
+
+class TestSigkillSubprocessResume:
+    def test_sigkilled_orchestration_resumes_to_monolithic_report(
+            self, tmp_path):
+        plan = make_plan(tmp_path)
+        config = tmp_path / "sweep.json"
+        config.write_text(json.dumps({
+            "matrix": MATRIX,
+            "shards": 2,
+            "workers": 1,
+            "records_dir": plan.records_dir,
+            "state_dir": plan.state_dir,
+        }))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        argv = [sys.executable, "-m", "repro", "orchestrate", str(config)]
+
+        proc = subprocess.Popen(
+            argv, env=env, cwd=str(tmp_path),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        records_dir = pathlib.Path(plan.records_dir)
+        deadline = time.monotonic() + 120
+        # kill as soon as the first record lands — mid-shard, journal
+        # showing the shard `running` with no terminal event
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:  # finished before we could kill
+                break
+            if records_dir.exists() and any(records_dir.glob("*.json")):
+                proc.send_signal(signal.SIGKILL)
+                break
+            time.sleep(0.02)
+        proc.wait(timeout=120)
+
+        resumed = subprocess.run(
+            argv + ["--resume"], env=env, cwd=str(tmp_path),
+            capture_output=True, text=True, timeout=300)
+        assert resumed.returncode == 0, resumed.stdout + resumed.stderr
+        assert len(list(records_dir.glob("*.json"))) == len(plan.specs())
+
+        status = subprocess.run(
+            argv + ["--status"], env=env, cwd=str(tmp_path),
+            capture_output=True, text=True, timeout=60)
+        assert status.returncode == 0
+        for name in ("generate", "shard-0", "shard-1", "fit", "report"):
+            assert name in status.stdout
+        assert "completed_success" in status.stdout
+
+        mono_results, mono_json = monolithic_report(tmp_path, plan)
+        assert_reports_match(plan.results_path, plan.json_path,
+                             mono_results, mono_json)

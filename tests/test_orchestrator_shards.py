@@ -1,0 +1,118 @@
+"""Shard-partition invariants and shared-cache pickup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.spec import ScenarioMatrix
+from repro.orchestrator.config import plan_from_dict
+from repro.orchestrator.run import Orchestrator
+from repro.orchestrator.shards import parse_shard, shard_index, shard_specs
+
+MATRIX = ScenarioMatrix(
+    families=("er", "path", "ring"),
+    sizes=(10, 14),
+    algorithms=("naive-bf", "det-n43"),
+    seeds=(1, 2),
+)
+SPECS = MATRIX.expand()
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_every_hash_in_exactly_one_shard(self, n):
+        shards = shard_specs(SPECS, n)
+        assert len(shards) == n
+        keys = [s.key for shard in shards for s in shard]
+        # union == matrix, no duplicates across shards
+        assert sorted(keys) == sorted(s.key for s in SPECS)
+        assert len(set(keys)) == len(SPECS)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_ownership_is_the_hash_prefix_rule(self, n):
+        shards = shard_specs(SPECS, n)
+        for i, shard in enumerate(shards):
+            for spec in shard:
+                assert int(spec.key, 16) % n == i
+                assert shard_index(spec, n) == i
+
+    def test_shards_preserve_matrix_order(self):
+        shards = shard_specs(SPECS, 3)
+        order = {s.key: i for i, s in enumerate(SPECS)}
+        for shard in shards:
+            positions = [order[s.key] for s in shard]
+            assert positions == sorted(positions)
+
+    def test_single_shard_owns_everything(self):
+        (only,) = shard_specs(SPECS, 1)
+        assert [s.key for s in only] == [s.key for s in SPECS]
+
+    def test_deterministic_across_calls(self):
+        a = shard_specs(SPECS, 4)
+        b = shard_specs(MATRIX.expand(), 4)
+        assert [[s.key for s in shard] for shard in a] == \
+            [[s.key for s in shard] for shard in b]
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            shard_index(SPECS[0], 0)
+
+
+class TestParseShard:
+    @pytest.mark.parametrize("text,expected", [
+        ("0/1", (0, 1)),
+        ("0/2", (0, 2)),
+        ("1/2", (1, 2)),
+        ("7/8", (7, 8)),
+    ])
+    def test_valid_specs(self, text, expected):
+        assert parse_shard(text) == expected
+
+    @pytest.mark.parametrize("text", [
+        "2", "1/2/3", "a/b", "1/b", "", "/", "1.5/2",
+    ])
+    def test_malformed_specs_rejected(self, text):
+        with pytest.raises(ValueError, match="invalid shard spec"):
+            parse_shard(text)
+
+    @pytest.mark.parametrize("text", ["2/2", "3/2", "-1/2"])
+    def test_out_of_range_index_rejected(self, text):
+        with pytest.raises(ValueError, match="0 <= i <"):
+            parse_shard(text)
+
+    def test_zero_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="N must be >= 1"):
+            parse_shard("0/0")
+
+
+class TestCachePickup:
+    def test_sweep_records_are_reused_not_recomputed(self, tmp_path):
+        """`repro sweep` cache entries are served to the owning shard."""
+        matrix = {
+            "families": ["er", "path"],
+            "sizes": [10, 14],
+            "algorithms": ["naive-bf"],
+            "seeds": [1, 2],
+        }
+        plan = plan_from_dict({
+            "matrix": matrix,
+            "shards": 2,
+            "records_dir": str(tmp_path / "records"),
+            "state_dir": str(tmp_path / "state"),
+        })
+        # A plain `repro sweep` over an overlapping matrix fills the
+        # shared cache first (here: the whole matrix).
+        pre = SweepExecutor(cache_dir=str(tmp_path / "records"))
+        pre.run(plan.specs())
+        assert pre.executed == len(plan.specs())
+
+        lines = []
+        graph = Orchestrator(plan, echo=lines.append).run()
+        for i in (0, 1):
+            stage = graph[f"shard-{i}"]
+            assert stage.status == "completed_success"
+            assert "0 executed" in stage.detail
+        cached = [line for line in lines if line.startswith("  [cache]")]
+        assert len(cached) == len(plan.specs())
+        assert not [line for line in lines if line.startswith("  [run]")]
